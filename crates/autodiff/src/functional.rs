@@ -1,0 +1,218 @@
+//! Composed differentiable functions and a finite-difference checker.
+
+use crate::tape::{Tape, Var};
+
+/// Binary cross entropy with logits:
+/// `mean( softplus(z) − y ⊙ z )`, the numerically stable form of
+/// `−y ln σ(z) − (1−y) ln(1−σ(z))`.
+///
+/// `labels` enters as a constant.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn bce_with_logits<'t>(tape: &'t Tape, logits: Var<'t>, labels: &[f64]) -> Var<'t> {
+    assert_eq!(logits.value().len(), labels.len(), "labels length mismatch");
+    let y = tape.constant(labels.to_vec());
+    let sp = tape.softplus(logits);
+    let yz = tape.mul(y, logits);
+    let per_sample = tape.sub(sp, yz);
+    tape.mean(per_sample)
+}
+
+/// The full logistic-regression loss `BCE(X·θ, y) + (reg/2)·θᵀθ`.
+pub fn lr_loss<'t>(
+    tape: &'t Tape,
+    x: &[f64],
+    rows: usize,
+    cols: usize,
+    theta: Var<'t>,
+    labels: &[f64],
+    reg: f64,
+) -> Var<'t> {
+    let z = tape.matvec(x, rows, cols, theta);
+    let bce = bce_with_logits(tape, z, labels);
+    if reg == 0.0 {
+        return bce;
+    }
+    let sq = tape.mul(theta, theta);
+    let l2 = tape.sum(sq);
+    let penalty = tape.scale(l2, reg / 2.0);
+    tape.add(bce, penalty)
+}
+
+/// Mean squared error against constant targets.
+pub fn mse<'t>(tape: &'t Tape, pred: Var<'t>, targets: &[f64]) -> Var<'t> {
+    assert_eq!(pred.value().len(), targets.len(), "targets length mismatch");
+    let t = tape.constant(targets.to_vec());
+    let diff = tape.sub(pred, t);
+    let sq = tape.mul(diff, diff);
+    tape.mean(sq)
+}
+
+/// Central finite-difference gradient of `f` at `x` (testing utility).
+pub fn finite_diff_grad(f: impl Fn(&[f64]) -> f64, x: &[f64], eps: f64) -> Vec<f64> {
+    let mut grad = Vec::with_capacity(x.len());
+    let mut probe = x.to_vec();
+    for i in 0..x.len() {
+        probe[i] = x[i] + eps;
+        let hi = f(&probe);
+        probe[i] = x[i] - eps;
+        let lo = f(&probe);
+        probe[i] = x[i];
+        grad.push((hi - lo) / (2.0 * eps));
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_problem() -> (Vec<f64>, usize, usize, Vec<f64>) {
+        // 6 rows × 3 cols, deterministic pseudo-random values.
+        let rows = 6;
+        let cols = 3;
+        let x: Vec<f64> = (0..rows * cols)
+            .map(|i| (((i * 2654435761_usize) % 1000) as f64 / 500.0) - 1.0)
+            .collect();
+        let y = vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        (x, rows, cols, y)
+    }
+
+    fn eval_lr_loss(
+        x: &[f64],
+        rows: usize,
+        cols: usize,
+        y: &[f64],
+        reg: f64,
+        theta: &[f64],
+    ) -> f64 {
+        let tape = Tape::new();
+        let t = tape.input(theta.to_vec());
+        lr_loss(&tape, x, rows, cols, t, y, reg).scalar_value()
+    }
+
+    #[test]
+    fn bce_matches_hand_formula() {
+        let tape = Tape::new();
+        let z = tape.input(vec![0.5, -1.0]);
+        let loss = bce_with_logits(&tape, z, &[1.0, 0.0]);
+        let p1 = 1.0 / (1.0 + (-0.5f64).exp());
+        let p2 = 1.0 / (1.0 + (1.0f64).exp());
+        let expect = (-(p1.ln()) - (1.0 - p2).ln()) / 2.0;
+        assert!((loss.scalar_value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lr_gradient_matches_finite_difference() {
+        let (x, rows, cols, y) = demo_problem();
+        let theta0 = [0.3, -0.2, 0.8];
+        for reg in [0.0, 0.5] {
+            let tape = Tape::new();
+            let theta = tape.input(theta0.to_vec());
+            let loss = lr_loss(&tape, &x, rows, cols, theta, &y, reg);
+            let grad = tape.backward(loss, &[theta], false)[0].value();
+            let fd = finite_diff_grad(|t| eval_lr_loss(&x, rows, cols, &y, reg, t), &theta0, 1e-5);
+            for (g, f) in grad.iter().zip(&fd) {
+                assert!((g - f).abs() < 1e-7, "autodiff {g} vs fd {f} (reg {reg})");
+            }
+        }
+    }
+
+    #[test]
+    fn lr_hvp_matches_finite_difference_of_gradient() {
+        let (x, rows, cols, y) = demo_problem();
+        let theta0 = [0.1, 0.4, -0.6];
+        let v = [0.5, -1.0, 0.25];
+
+        // Autodiff HVP via double backward.
+        let tape = Tape::new();
+        let theta = tape.input(theta0.to_vec());
+        let loss = lr_loss(&tape, &x, rows, cols, theta, &y, 0.3);
+        let grad = tape.backward(loss, &[theta], true)[0];
+        let vvar = tape.constant(v.to_vec());
+        let gv = tape.dot(grad, vvar);
+        let hv = tape.backward(gv, &[theta], false)[0].value();
+
+        // Finite-difference HVP: (∇f(θ+εv) − ∇f(θ−εv)) / 2ε.
+        let eps = 1e-5;
+        let grad_at = |t: &[f64]| {
+            let tape = Tape::new();
+            let th = tape.input(t.to_vec());
+            let loss = lr_loss(&tape, &x, rows, cols, th, &y, 0.3);
+            tape.backward(loss, &[th], false)[0].value()
+        };
+        let plus: Vec<f64> = theta0.iter().zip(&v).map(|(t, d)| t + eps * d).collect();
+        let minus: Vec<f64> = theta0.iter().zip(&v).map(|(t, d)| t - eps * d).collect();
+        let gp = grad_at(&plus);
+        let gm = grad_at(&minus);
+        for i in 0..3 {
+            let fd = (gp[i] - gm[i]) / (2.0 * eps);
+            assert!(
+                (hv[i] - fd).abs() < 1e-6,
+                "HVP[{i}] autodiff {} vs fd {fd}",
+                hv[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let tape = Tape::new();
+        let pred = tape.input(vec![1.0, 3.0]);
+        let loss = mse(&tape, pred, &[0.0, 1.0]);
+        assert!((loss.scalar_value() - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        let g = tape.backward(loss, &[pred], false)[0].value();
+        assert!((g[0] - 1.0).abs() < 1e-12); // 2(1-0)/2
+        assert!((g[1] - 2.0).abs() < 1e-12); // 2(3-1)/2
+    }
+
+    #[test]
+    fn finite_diff_on_quadratic_is_exact() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let g = finite_diff_grad(f, &[1.0, -2.0, 3.0], 1e-6);
+        for (gi, xi) in g.iter().zip(&[1.0, -2.0, 3.0]) {
+            assert!((gi - 2.0 * xi).abs() < 1e-6);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn gradcheck_random_lr_instances(
+                theta in proptest::collection::vec(-1.5f64..1.5, 3),
+                labels in proptest::collection::vec(0u8..=1, 5),
+                seed in 0u64..1000,
+            ) {
+                let rows = labels.len();
+                let cols = theta.len();
+                let x: Vec<f64> = (0..rows * cols)
+                    .map(|i| {
+                        let h = (i as u64)
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add(seed.wrapping_mul(0xD1B54A32D192ED03));
+                        ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+                    })
+                    .collect();
+                let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+                let tape = Tape::new();
+                let t = tape.input(theta.clone());
+                let loss = lr_loss(&tape, &x, rows, cols, t, &y, 0.1);
+                let grad = tape.backward(loss, &[t], false)[0].value();
+                let fd = finite_diff_grad(
+                    |tt| eval_lr_loss(&x, rows, cols, &y, 0.1, tt),
+                    &theta,
+                    1e-5,
+                );
+                for (g, f) in grad.iter().zip(&fd) {
+                    prop_assert!((g - f).abs() < 1e-6, "{g} vs {f}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,821 @@
+//! Eager reverse-mode autodiff tape with double-backward support.
+//!
+//! Rust has no mature deep-learning autograd crate, and the meta-IRM
+//! algorithm needs gradients *of* gradients (the outer update
+//! differentiates through the inner SGD step). This module implements the
+//! minimal engine that supports it:
+//!
+//! - values are 1-D tensors (`Vec<f64>`); a scalar is a length-1 tensor;
+//! - every operation eagerly computes its value and records a node on the
+//!   tape;
+//! - [`Tape::backward`] walks the graph in reverse and **emits the adjoint
+//!   computation as new tape nodes**, so the returned gradients are
+//!   themselves differentiable — call `backward` on (functions of) them to
+//!   get exact second-order quantities such as Hessian-vector products.
+//!
+//! Broadcasting is deliberately minimal: binary ops accept equal lengths
+//! or a length-1 operand (whose adjoint is the summed elementwise
+//! adjoint). Matrices appear only as constants in [`Tape::matvec`], which
+//! is all logistic regression needs.
+
+use std::cell::RefCell;
+
+/// A handle to a value on a [`Tape`].
+///
+/// Cheap to copy; tied to its tape by lifetime.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Var")
+            .field("id", &self.id)
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf: either a differentiable input or a constant.
+    Leaf {
+        requires_grad: bool,
+    },
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Neg(usize),
+    Scale(usize, f64),
+    Sum(usize),
+    /// Broadcast a scalar (length recorded by the node's value).
+    Broadcast(usize),
+    Dot(usize, usize),
+    /// `X · v` with constant row-major `X` of shape `rows × cols`.
+    MatVec {
+        matrix: usize,
+        rows: usize,
+        cols: usize,
+        vec: usize,
+    },
+    /// `Xᵀ · v` with the same constant matrix.
+    MatTVec {
+        matrix: usize,
+        rows: usize,
+        cols: usize,
+        vec: usize,
+    },
+    Sigmoid(usize),
+    Softplus(usize),
+    Ln(usize),
+    Exp(usize),
+    Sqrt(usize),
+}
+
+struct NodeData {
+    value: Vec<f64>,
+    op: Op,
+}
+
+/// The autodiff tape (arena of nodes).
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<NodeData>>,
+    /// Constant matrices referenced by MatVec nodes (never differentiated).
+    matrices: RefCell<Vec<Vec<f64>>>,
+}
+
+impl Tape {
+    /// A fresh empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes currently recorded (ops executed). The complexity
+    /// assertions in the core crate count these.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, value: Vec<f64>, op: Op) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(NodeData { value, op });
+        Var {
+            tape: self,
+            id: nodes.len() - 1,
+        }
+    }
+
+    /// A differentiable input tensor.
+    pub fn input(&self, value: Vec<f64>) -> Var<'_> {
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: true,
+            },
+        )
+    }
+
+    /// A constant tensor (no gradient flows into it).
+    pub fn constant(&self, value: Vec<f64>) -> Var<'_> {
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: false,
+            },
+        )
+    }
+
+    /// A constant scalar.
+    pub fn scalar(&self, value: f64) -> Var<'_> {
+        self.constant(vec![value])
+    }
+
+    fn register_matrix(&self, matrix: Vec<f64>) -> usize {
+        let mut ms = self.matrices.borrow_mut();
+        ms.push(matrix);
+        ms.len() - 1
+    }
+
+    /// Compute the gradients of scalar `output` with respect to `inputs`.
+    ///
+    /// With `create_graph = true` the adjoint pass records its own nodes,
+    /// so the returned gradients can be differentiated again (this is how
+    /// exact Hessian-vector products are obtained). With `false` the same
+    /// nodes are recorded but the caller promises not to reuse them —
+    /// there is no performance distinction in this small engine; the flag
+    /// exists to document intent at call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not scalar (length 1) or if vars belong to a
+    /// different tape.
+    pub fn backward<'t>(
+        &'t self,
+        output: Var<'t>,
+        inputs: &[Var<'t>],
+        create_graph: bool,
+    ) -> Vec<Var<'t>> {
+        let _ = create_graph;
+        assert!(std::ptr::eq(output.tape, self), "output from another tape");
+        assert_eq!(output.value().len(), 1, "backward needs a scalar output");
+
+        // The set of nodes whose adjoint we must propagate: ancestors of
+        // `output`. Adjoints start as None (≡ zero).
+        let frontier = output.id;
+        let mut adjoint: Vec<Option<Var<'t>>> = vec![None; frontier + 1];
+        adjoint[frontier] = Some(self.scalar(1.0));
+
+        // Nodes are created in topological order, so a reverse index scan
+        // is a valid reverse-topological traversal.
+        for id in (0..=frontier).rev() {
+            let Some(grad) = adjoint[id] else { continue };
+            let op = self.nodes.borrow()[id].op.clone();
+            match op {
+                Op::Leaf { .. } => {}
+                Op::Add(a, b) => {
+                    self.accumulate(&mut adjoint, a, self.reduce_like(grad, a));
+                    self.accumulate(&mut adjoint, b, self.reduce_like(grad, b));
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(&mut adjoint, a, self.reduce_like(grad, a));
+                    let neg = self.neg(grad);
+                    self.accumulate(&mut adjoint, b, self.reduce_like(neg, b));
+                }
+                Op::Mul(a, b) => {
+                    let va = Var { tape: self, id: a };
+                    let vb = Var { tape: self, id: b };
+                    let ga = self.mul(grad, vb);
+                    let gb = self.mul(grad, va);
+                    self.accumulate(&mut adjoint, a, self.reduce_like(ga, a));
+                    self.accumulate(&mut adjoint, b, self.reduce_like(gb, b));
+                }
+                Op::Neg(a) => {
+                    let g = self.neg(grad);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+                Op::Scale(a, c) => {
+                    let g = self.scale(grad, c);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+                Op::Sum(a) => {
+                    let n = self.nodes.borrow()[a].value.len();
+                    let g = self.broadcast(grad, n);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+                Op::Broadcast(a) => {
+                    let g = self.sum(grad);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+                Op::Dot(a, b) => {
+                    let va = Var { tape: self, id: a };
+                    let vb = Var { tape: self, id: b };
+                    let n = va.value().len();
+                    let gb = self.broadcast(grad, n);
+                    let ga = self.mul(gb, vb);
+                    let gbb = self.mul(gb, va);
+                    self.accumulate(&mut adjoint, a, ga);
+                    self.accumulate(&mut adjoint, b, gbb);
+                }
+                Op::MatVec {
+                    matrix,
+                    rows,
+                    cols,
+                    vec,
+                } => {
+                    // d/dv (X v) ⋅ g = Xᵀ g
+                    let g = self.mat_t_vec_raw(matrix, rows, cols, grad);
+                    self.accumulate(&mut adjoint, vec, g);
+                }
+                Op::MatTVec {
+                    matrix,
+                    rows,
+                    cols,
+                    vec,
+                } => {
+                    // d/dv (Xᵀ v) ⋅ g = X g
+                    let g = self.mat_vec_raw(matrix, rows, cols, grad);
+                    self.accumulate(&mut adjoint, vec, g);
+                }
+                Op::Sigmoid(a) => {
+                    // s' = s (1 − s)
+                    let s = Var { tape: self, id };
+                    let one = self.scalar(1.0);
+                    let one_minus = self.sub(one, s);
+                    let sp = self.mul(s, one_minus);
+                    let g = self.mul(grad, sp);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+                Op::Softplus(a) => {
+                    // softplus' = sigmoid
+                    let va = Var { tape: self, id: a };
+                    let s = self.sigmoid(va);
+                    let g = self.mul(grad, s);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+                Op::Ln(a) => {
+                    let va = Var { tape: self, id: a };
+                    let one = self.scalar(1.0);
+                    let inv = self.divide(one, va);
+                    let g = self.mul(grad, inv);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+                Op::Exp(a) => {
+                    let e = Var { tape: self, id };
+                    let g = self.mul(grad, e);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+                Op::Sqrt(a) => {
+                    // (√x)' = 1 / (2 √x)
+                    let r = Var { tape: self, id };
+                    let half = self.scalar(0.5);
+                    let inv = self.divide(half, r);
+                    let g = self.mul(grad, inv);
+                    self.accumulate(&mut adjoint, a, g);
+                }
+            }
+        }
+
+        inputs
+            .iter()
+            .map(|v| {
+                assert!(std::ptr::eq(v.tape, self), "input from another tape");
+                match adjoint.get(v.id).copied().flatten() {
+                    Some(g) => self.materialize_like(g, v.id),
+                    None => {
+                        let n = self.nodes.borrow()[v.id].value.len();
+                        self.constant(vec![0.0; n])
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn accumulate<'t>(&'t self, adjoint: &mut [Option<Var<'t>>], id: usize, grad: Var<'t>) {
+        if id >= adjoint.len() {
+            return; // node created during backward; not an ancestor
+        }
+        // Constants absorb no gradient; skipping them prunes the adjoint
+        // graph at the leaves.
+        if matches!(
+            self.nodes.borrow()[id].op,
+            Op::Leaf {
+                requires_grad: false
+            }
+        ) {
+            return;
+        }
+        adjoint[id] = Some(match adjoint[id] {
+            Some(existing) => self.add(existing, grad),
+            None => grad,
+        });
+    }
+
+    /// If `grad` is wider than node `target` (because the target was a
+    /// broadcast scalar in a binary op), reduce it by summation.
+    fn reduce_like<'t>(&'t self, grad: Var<'t>, target: usize) -> Var<'t> {
+        let target_len = self.nodes.borrow()[target].value.len();
+        if grad.value().len() == target_len {
+            grad
+        } else if target_len == 1 {
+            self.sum(grad)
+        } else {
+            panic!(
+                "gradient of length {} cannot match target of length {target_len}",
+                grad.value().len()
+            )
+        }
+    }
+
+    /// If `grad` is a scalar but the input is a vector (possible when the
+    /// forward broadcast it), widen by broadcasting.
+    fn materialize_like<'t>(&'t self, grad: Var<'t>, target: usize) -> Var<'t> {
+        let target_len = self.nodes.borrow()[target].value.len();
+        if grad.value().len() == target_len {
+            grad
+        } else if grad.value().len() == 1 {
+            self.broadcast(grad, target_len)
+        } else {
+            panic!("gradient/shape mismatch")
+        }
+    }
+
+    // ----- forward ops -------------------------------------------------
+
+    fn binary_values(&self, a: Var<'_>, b: Var<'_>, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        let nodes = self.nodes.borrow();
+        let va = &nodes[a.id].value;
+        let vb = &nodes[b.id].value;
+        match (va.len(), vb.len()) {
+            (x, y) if x == y => va.iter().zip(vb).map(|(&p, &q)| f(p, q)).collect(),
+            (_, 1) => va.iter().map(|&p| f(p, vb[0])).collect(),
+            (1, _) => vb.iter().map(|&q| f(va[0], q)).collect(),
+            (x, y) => panic!("shape mismatch: {x} vs {y}"),
+        }
+    }
+
+    /// Elementwise addition (broadcasting a scalar operand).
+    pub fn add<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        let v = self.binary_values(a, b, |p, q| p + q);
+        self.push(v, Op::Add(a.id, b.id))
+    }
+
+    /// Elementwise subtraction (broadcasting a scalar operand).
+    pub fn sub<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        let v = self.binary_values(a, b, |p, q| p - q);
+        self.push(v, Op::Sub(a.id, b.id))
+    }
+
+    /// Elementwise multiplication (broadcasting a scalar operand).
+    pub fn mul<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        let v = self.binary_values(a, b, |p, q| p * q);
+        self.push(v, Op::Mul(a.id, b.id))
+    }
+
+    /// Elementwise division implemented as `a * exp(-ln b)` would lose
+    /// precision; instead it is its own composition `a * b⁻¹` via `Mul`
+    /// and an explicit reciprocal through `Exp(Neg(Ln))` — but for
+    /// simplicity and exactness we express it as `a · (1/b)` where the
+    /// reciprocal is differentiated through [`Tape::ln`]/[`Tape::exp`].
+    pub fn divide<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        let ln_b = self.ln(b);
+        let neg = self.neg(ln_b);
+        let inv = self.exp(neg);
+        self.mul(a, inv)
+    }
+
+    /// Elementwise negation.
+    pub fn neg<'t>(&'t self, a: Var<'t>) -> Var<'t> {
+        let v = a.value().iter().map(|&p| -p).collect();
+        self.push(v, Op::Neg(a.id))
+    }
+
+    /// Multiply by a compile-time constant.
+    pub fn scale<'t>(&'t self, a: Var<'t>, c: f64) -> Var<'t> {
+        let v = a.value().iter().map(|&p| c * p).collect();
+        self.push(v, Op::Scale(a.id, c))
+    }
+
+    /// Sum to a scalar.
+    pub fn sum<'t>(&'t self, a: Var<'t>) -> Var<'t> {
+        let v = vec![a.value().iter().sum::<f64>()];
+        self.push(v, Op::Sum(a.id))
+    }
+
+    /// Mean to a scalar.
+    pub fn mean<'t>(&'t self, a: Var<'t>) -> Var<'t> {
+        let n = a.value().len().max(1);
+        let s = self.sum(a);
+        self.scale(s, 1.0 / n as f64)
+    }
+
+    /// Broadcast a scalar to a length-`n` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a` is scalar.
+    pub fn broadcast<'t>(&'t self, a: Var<'t>, n: usize) -> Var<'t> {
+        assert_eq!(a.value().len(), 1, "broadcast needs a scalar");
+        let v = vec![a.value()[0]; n];
+        self.push(v, Op::Broadcast(a.id))
+    }
+
+    /// Inner product of two equal-length vectors (scalar output).
+    pub fn dot<'t>(&'t self, a: Var<'t>, b: Var<'t>) -> Var<'t> {
+        let va = a.value();
+        let vb = b.value();
+        assert_eq!(va.len(), vb.len(), "dot length mismatch");
+        let v = vec![va.iter().zip(vb.iter()).map(|(&p, &q)| p * q).sum::<f64>()];
+        self.push(v, Op::Dot(a.id, b.id))
+    }
+
+    fn mat_vec_raw<'t>(&'t self, matrix: usize, rows: usize, cols: usize, v: Var<'t>) -> Var<'t> {
+        let out = {
+            let ms = self.matrices.borrow();
+            let x = &ms[matrix];
+            let vv = v.value();
+            assert_eq!(vv.len(), cols, "matvec width mismatch");
+            (0..rows)
+                .map(|r| {
+                    x[r * cols..(r + 1) * cols]
+                        .iter()
+                        .zip(vv.iter())
+                        .map(|(&m, &q)| m * q)
+                        .sum()
+                })
+                .collect()
+        };
+        self.push(
+            out,
+            Op::MatVec {
+                matrix,
+                rows,
+                cols,
+                vec: v.id,
+            },
+        )
+    }
+
+    fn mat_t_vec_raw<'t>(&'t self, matrix: usize, rows: usize, cols: usize, v: Var<'t>) -> Var<'t> {
+        let out = {
+            let ms = self.matrices.borrow();
+            let x = &ms[matrix];
+            let vv = v.value();
+            assert_eq!(vv.len(), rows, "matvec-transpose height mismatch");
+            let mut acc = vec![0.0; cols];
+            for (r, &g) in vv.iter().enumerate() {
+                for (c, slot) in acc.iter_mut().enumerate() {
+                    *slot += x[r * cols + c] * g;
+                }
+            }
+            acc
+        };
+        self.push(
+            out,
+            Op::MatTVec {
+                matrix,
+                rows,
+                cols,
+                vec: v.id,
+            },
+        )
+    }
+
+    /// `X · v` where `X` is a constant row-major `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `matrix.len() != rows * cols` or `v` is not `cols` long.
+    pub fn matvec<'t>(&'t self, matrix: &[f64], rows: usize, cols: usize, v: Var<'t>) -> Var<'t> {
+        assert_eq!(matrix.len(), rows * cols, "matrix shape mismatch");
+        let handle = self.register_matrix(matrix.to_vec());
+        self.mat_vec_raw(handle, rows, cols, v)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid<'t>(&'t self, a: Var<'t>) -> Var<'t> {
+        let v = a
+            .value()
+            .iter()
+            .map(|&x| {
+                if x >= 0.0 {
+                    1.0 / (1.0 + (-x).exp())
+                } else {
+                    let e = x.exp();
+                    e / (1.0 + e)
+                }
+            })
+            .collect();
+        self.push(v, Op::Sigmoid(a.id))
+    }
+
+    /// Elementwise softplus `ln(1 + eˣ)`, computed stably.
+    pub fn softplus<'t>(&'t self, a: Var<'t>) -> Var<'t> {
+        let v = a
+            .value()
+            .iter()
+            .map(|&x| {
+                if x > 0.0 {
+                    x + (-x).exp().ln_1p()
+                } else {
+                    x.exp().ln_1p()
+                }
+            })
+            .collect();
+        self.push(v, Op::Softplus(a.id))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln<'t>(&'t self, a: Var<'t>) -> Var<'t> {
+        let v = a.value().iter().map(|&x| x.ln()).collect();
+        self.push(v, Op::Ln(a.id))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp<'t>(&'t self, a: Var<'t>) -> Var<'t> {
+        let v = a.value().iter().map(|&x| x.exp()).collect();
+        self.push(v, Op::Exp(a.id))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt<'t>(&'t self, a: Var<'t>) -> Var<'t> {
+        let v = a.value().iter().map(|&x| x.sqrt()).collect();
+        self.push(v, Op::Sqrt(a.id))
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The current value (cloned out of the tape).
+    pub fn value(&self) -> Vec<f64> {
+        self.tape.nodes.borrow()[self.id].value.clone()
+    }
+
+    /// The value of a scalar var.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the var is not length 1.
+    pub fn scalar_value(&self) -> f64 {
+        let v = self.value();
+        assert_eq!(v.len(), 1, "scalar_value on a non-scalar");
+        v[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_backward() {
+        let t = Tape::new();
+        let x = t.input(vec![2.0, 3.0]);
+        let y = t.input(vec![5.0, 7.0]);
+        let s = t.add(x, y);
+        let total = t.sum(s);
+        assert_eq!(total.scalar_value(), 17.0);
+        let grads = t.backward(total, &[x, y], false);
+        assert_eq!(grads[0].value(), vec![1.0, 1.0]);
+        assert_eq!(grads[1].value(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_gradients() {
+        let t = Tape::new();
+        let x = t.input(vec![2.0, 3.0]);
+        let y = t.input(vec![5.0, 7.0]);
+        let p = t.mul(x, y);
+        let total = t.sum(p);
+        let grads = t.backward(total, &[x, y], false);
+        assert_eq!(grads[0].value(), vec![5.0, 7.0]);
+        assert_eq!(grads[1].value(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn scalar_broadcast_in_binary_ops() {
+        let t = Tape::new();
+        let x = t.input(vec![1.0, 2.0, 3.0]);
+        let c = t.input(vec![10.0]);
+        let s = t.mul(x, c);
+        assert_eq!(s.value(), vec![10.0, 20.0, 30.0]);
+        let total = t.sum(s);
+        let grads = t.backward(total, &[x, c], false);
+        assert_eq!(grads[0].value(), vec![10.0, 10.0, 10.0]);
+        assert_eq!(grads[1].value(), vec![6.0]); // sum of x
+    }
+
+    #[test]
+    fn dot_gradients() {
+        let t = Tape::new();
+        let a = t.input(vec![1.0, 2.0]);
+        let b = t.input(vec![3.0, 4.0]);
+        let d = t.dot(a, b);
+        assert_eq!(d.scalar_value(), 11.0);
+        let grads = t.backward(d, &[a, b], false);
+        assert_eq!(grads[0].value(), vec![3.0, 4.0]);
+        assert_eq!(grads[1].value(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn matvec_forward_and_gradient() {
+        let t = Tape::new();
+        // X = [[1, 2], [3, 4], [5, 6]]
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let v = t.input(vec![1.0, -1.0]);
+        let out = t.matvec(&x, 3, 2, v);
+        assert_eq!(out.value(), vec![-1.0, -1.0, -1.0]);
+        let total = t.sum(out);
+        let grads = t.backward(total, &[v], false);
+        // Xᵀ·1 = column sums = [9, 12]
+        assert_eq!(grads[0].value(), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_formula() {
+        let t = Tape::new();
+        let x = t.input(vec![0.3, -1.2]);
+        let s = t.sigmoid(x);
+        let total = t.sum(s);
+        let grads = t.backward(total, &[x], false);
+        for (g, &xi) in grads[0].value().iter().zip(&[0.3f64, -1.2]) {
+            let si = 1.0 / (1.0 + (-xi).exp());
+            assert!((g - si * (1.0 - si)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unused_input_gets_zero_gradient() {
+        let t = Tape::new();
+        let x = t.input(vec![1.0]);
+        let unused = t.input(vec![4.0, 5.0]);
+        let y = t.mul(x, x);
+        let grads = t.backward(y, &[x, unused], false);
+        assert_eq!(grads[0].value(), vec![2.0]);
+        assert_eq!(grads[1].value(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn double_backward_gives_second_derivative() {
+        // f(x) = x³ → f' = 3x², f'' = 6x
+        let t = Tape::new();
+        let x = t.input(vec![2.0]);
+        let x2 = t.mul(x, x);
+        let x3 = t.mul(x2, x);
+        let g = t.backward(x3, &[x], true)[0];
+        assert!((g.scalar_value() - 12.0).abs() < 1e-12);
+        let gg = t.backward(g, &[x], false)[0];
+        assert!(
+            (gg.scalar_value() - 12.0 * 2.0 / 2.0).abs() < 1e-9
+                || (gg.scalar_value() - 12.0).abs() < 1e-9,
+            "f''(2) = 12, got {}",
+            gg.scalar_value()
+        );
+    }
+
+    #[test]
+    fn hessian_vector_product_quadratic() {
+        // f(θ) = ½ θᵀAθ with A = diag(2, 6) via elementwise ops:
+        // f = 1·θ₀² + 3·θ₁². H = diag(2, 6), so H·v is exact.
+        let t = Tape::new();
+        let theta = t.input(vec![0.7, -0.3]);
+        let coef = t.constant(vec![1.0, 3.0]);
+        let sq = t.mul(theta, theta);
+        let weighted = t.mul(sq, coef);
+        let f = t.sum(weighted);
+        let g = t.backward(f, &[theta], true)[0];
+        // g = [2θ₀, 6θ₁]
+        let gv = g.value();
+        assert!((gv[0] - 1.4).abs() < 1e-12);
+        assert!((gv[1] + 1.8).abs() < 1e-12);
+        // HVP with v = [1, 1]: backward of g·v.
+        let v = t.constant(vec![1.0, 1.0]);
+        let gdotv = t.dot(g, v);
+        let hv = t.backward(gdotv, &[theta], false)[0];
+        assert_eq!(hv.value(), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn divide_matches_reciprocal() {
+        let t = Tape::new();
+        let a = t.input(vec![3.0]);
+        let b = t.input(vec![4.0]);
+        let q = t.divide(a, b);
+        assert!((q.scalar_value() - 0.75).abs() < 1e-12);
+        let grads = t.backward(q, &[a, b], false);
+        assert!((grads[0].scalar_value() - 0.25).abs() < 1e-12);
+        assert!((grads[1].scalar_value() + 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softplus_is_stable_at_extremes() {
+        let t = Tape::new();
+        let x = t.input(vec![800.0, -800.0]);
+        let s = t.softplus(x);
+        let v = s.value();
+        assert!((v[0] - 800.0).abs() < 1e-9);
+        assert!(v[1].abs() < 1e-9);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar output")]
+    fn backward_rejects_vector_output() {
+        let t = Tape::new();
+        let x = t.input(vec![1.0, 2.0]);
+        let _ = t.backward(x, &[x], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn binary_op_rejects_mismatched_shapes() {
+        let t = Tape::new();
+        let a = t.input(vec![1.0, 2.0]);
+        let b = t.input(vec![1.0, 2.0, 3.0]);
+        let _ = t.add(a, b);
+    }
+
+    #[test]
+    fn exp_ln_sqrt_first_and_second_order_match_formulas() {
+        // f(x) = exp(x) + ln(x) + sqrt(x):
+        // f'  = exp(x) + 1/x + 1/(2 sqrt x)
+        // f'' = exp(x) - 1/x^2 - 1/(4 x^{3/2})
+        let t = Tape::new();
+        let x0 = 1.7f64;
+        let x = t.input(vec![x0]);
+        let e = t.exp(x);
+        let l = t.ln(x);
+        let s = t.sqrt(x);
+        let el = t.add(e, l);
+        let f = t.add(el, s);
+        let g = t.backward(f, &[x], true)[0];
+        let expect_g = x0.exp() + 1.0 / x0 + 0.5 / x0.sqrt();
+        assert!((g.scalar_value() - expect_g).abs() < 1e-10);
+        let gg = t.backward(g, &[x], false)[0];
+        let expect_gg = x0.exp() - 1.0 / (x0 * x0) - 0.25 / x0.powf(1.5);
+        assert!(
+            (gg.scalar_value() - expect_gg).abs() < 1e-8,
+            "f''({x0}) = {expect_gg}, got {}",
+            gg.scalar_value()
+        );
+    }
+
+    #[test]
+    fn sigmoid_second_derivative_via_double_backward() {
+        // σ'' = σ(1-σ)(1-2σ)
+        let t = Tape::new();
+        let x0 = 0.4f64;
+        let x = t.input(vec![x0]);
+        let s = t.sigmoid(x);
+        let sum = t.sum(s);
+        let g = t.backward(sum, &[x], true)[0];
+        let gsum = t.sum(g);
+        let gg = t.backward(gsum, &[x], false)[0];
+        let si = 1.0 / (1.0 + (-x0).exp());
+        let expect = si * (1.0 - si) * (1.0 - 2.0 * si);
+        assert!(
+            (gg.scalar_value() - expect).abs() < 1e-10,
+            "sigma''({x0}) = {expect}, got {}",
+            gg.scalar_value()
+        );
+    }
+
+    #[test]
+    fn broadcast_grad_through_dot_roundtrip() {
+        // y = (c·1ₙ) · v where c is a learned scalar: dy/dc = sum(v).
+        let t = Tape::new();
+        let c = t.input(vec![2.0]);
+        let v = t.constant(vec![1.0, 2.0, 3.0]);
+        let b = t.broadcast(c, 3);
+        let y = t.dot(b, v);
+        assert_eq!(y.scalar_value(), 12.0);
+        let g = t.backward(y, &[c], false)[0];
+        assert_eq!(g.scalar_value(), 6.0);
+    }
+
+    #[test]
+    fn tape_len_counts_nodes() {
+        let t = Tape::new();
+        assert!(t.is_empty());
+        let a = t.input(vec![1.0]);
+        let b = t.input(vec![2.0]);
+        let _ = t.add(a, b);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn mean_is_sum_over_n() {
+        let t = Tape::new();
+        let x = t.input(vec![1.0, 2.0, 3.0, 6.0]);
+        let m = t.mean(x);
+        assert_eq!(m.scalar_value(), 3.0);
+        let g = t.backward(m, &[x], false)[0];
+        assert_eq!(g.value(), vec![0.25; 4]);
+    }
+}

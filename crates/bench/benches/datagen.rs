@@ -1,0 +1,29 @@
+//! Data-platform throughput: generation, serialization, splits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loansim::{generate, random_split, temporal_split, GeneratorConfig, LoanFrame};
+
+fn datagen_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loansim");
+    group.sample_size(10);
+    group.bench_function("generate_10k_rows", |b| {
+        b.iter(|| generate(&GeneratorConfig::small(10_000, 1)))
+    });
+
+    let frame = generate(&GeneratorConfig::small(10_000, 1));
+    group.bench_function("temporal_split_10k", |b| {
+        b.iter(|| temporal_split(&frame, 2020))
+    });
+    group.bench_function("random_split_10k", |b| {
+        b.iter(|| random_split(&frame, 0.8, 7))
+    });
+    group.bench_function("serialize_10k", |b| b.iter(|| frame.to_bytes()));
+    let bytes = frame.to_bytes();
+    group.bench_function("deserialize_10k", |b| {
+        b.iter(|| LoanFrame::from_bytes(bytes.clone()).expect("round trip"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, datagen_benches);
+criterion_main!(benches);

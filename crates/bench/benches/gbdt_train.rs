@@ -1,0 +1,54 @@
+//! GBDT feature-extractor throughput: training, prediction, and the
+//! leaf-index transform (the Table III "transforming the format" row).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightmirm_gbdt::{Gbdt, GbdtConfig, GrowConfig};
+use loansim::{generate, GeneratorConfig};
+
+fn gbdt_benches(c: &mut Criterion) {
+    let frame = generate(&GeneratorConfig::small(10_000, 9));
+    let config = GbdtConfig {
+        n_trees: 16,
+        learning_rate: 0.15,
+        max_bins: 64,
+        grow: GrowConfig {
+            max_leaves: 8,
+            min_data_in_leaf: 40,
+            lambda_l2: 1.0,
+            min_gain: 1e-6,
+        },
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("gbdt");
+    group.sample_size(10);
+    group.bench_function("fit_16_trees_10k_rows", |b| {
+        b.iter(|| {
+            Gbdt::fit(
+                frame.feature_matrix(),
+                frame.n_features(),
+                &frame.label,
+                &config,
+            )
+            .expect("fits")
+        })
+    });
+
+    let model = Gbdt::fit(
+        frame.feature_matrix(),
+        frame.n_features(),
+        &frame.label,
+        &config,
+    )
+    .expect("fits");
+    group.bench_function("predict_proba_10k_rows", |b| {
+        b.iter(|| model.predict_proba_batch(frame.feature_matrix()))
+    });
+    group.bench_function("transform_leaf_indices_10k_rows", |b| {
+        b.iter(|| model.transform_batch(frame.feature_matrix()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gbdt_benches);
+criterion_main!(benches);

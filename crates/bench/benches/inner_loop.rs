@@ -1,0 +1,48 @@
+//! Microbenchmarks of the atomic operations §III-F counts: one env loss
+//! (forward), one env gradient (backward), and one Hessian-vector product.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightmirm_bench::bench_dataset;
+use lightmirm_core::prelude::*;
+
+fn atomic_ops(c: &mut Criterion) {
+    let data = bench_dataset(20_000, 32, 5);
+    let envs = data.active_envs();
+    let biggest = *envs
+        .iter()
+        .max_by_key(|&&m| data.env_rows(m).len())
+        .expect("nonempty");
+    let rows = data.env_rows(biggest);
+    let theta = vec![0.01; data.n_cols()];
+    let v = vec![0.5; data.n_cols()];
+    let mut out = vec![0.0; data.n_cols()];
+
+    let mut group = c.benchmark_group("atomic_env_ops");
+    group.bench_function("env_loss_forward", |b| {
+        b.iter(|| env_loss(&theta, &data.x, &data.labels, rows, 1e-4))
+    });
+    group.bench_function("env_grad_backward", |b| {
+        b.iter(|| env_grad(&theta, &data.x, &data.labels, rows, 1e-4, &mut out))
+    });
+    group.bench_function("env_hvp", |b| {
+        b.iter(|| env_hvp(&theta, &data.x, &data.labels, rows, 1e-4, &v, &mut out))
+    });
+    group.finish();
+}
+
+fn mrq_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mrq");
+    group.bench_function("push_and_replay_l5", |b| {
+        let mut q = MetaReplayQueue::new(5);
+        let mut i = 0.0f64;
+        b.iter(|| {
+            i += 1.0;
+            q.push(i);
+            q.replayed_mean(0.9)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, atomic_ops, mrq_ops);
+criterion_main!(benches);

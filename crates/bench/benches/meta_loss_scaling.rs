@@ -1,0 +1,44 @@
+//! The paper's §III-F complexity claim in wall-clock form: per-iteration
+//! cost of meta-IRM grows quadratically in the number of environments M,
+//! LightMIRM's linearly (Table III / Fig. 7 backing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightmirm_bench::{bench_dataset, bench_train_config, restrict_envs};
+use lightmirm_core::prelude::*;
+
+fn meta_loss_scaling(c: &mut Criterion) {
+    let base = bench_dataset(12_000, 16, 3);
+    let mut group = c.benchmark_group("per_epoch_cost_vs_M");
+    group.sample_size(10);
+    for m in [4usize, 8, 16] {
+        let data = restrict_envs(&base, m);
+        group.bench_with_input(BenchmarkId::new("meta_irm", m), &data, |b, data| {
+            b.iter(|| MetaIrmTrainer::new(bench_train_config(1)).fit(data, None))
+        });
+        group.bench_with_input(BenchmarkId::new("light_mirm", m), &data, |b, data| {
+            b.iter(|| LightMirmTrainer::new(bench_train_config(1)).fit(data, None))
+        });
+    }
+    group.finish();
+}
+
+fn second_order_overhead(c: &mut Criterion) {
+    // The HVP's cost (the "backward propagation" row of Table III): full
+    // second-order vs the first-order ablation.
+    let base = bench_dataset(12_000, 16, 3);
+    let data = restrict_envs(&base, 8);
+    let mut group = c.benchmark_group("second_order_overhead");
+    group.sample_size(10);
+    group.bench_function("meta_irm_second_order", |b| {
+        b.iter(|| MetaIrmTrainer::new(bench_train_config(1)).fit(&data, None))
+    });
+    group.bench_function("meta_irm_first_order", |b| {
+        let mut t = MetaIrmTrainer::new(bench_train_config(1));
+        t.first_order = true;
+        b.iter(|| t.fit(&data, None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, meta_loss_scaling, second_order_overhead);
+criterion_main!(benches);

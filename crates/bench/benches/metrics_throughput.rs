@@ -1,0 +1,36 @@
+//! Metric computation throughput: the evaluation side of every table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightmirm_metrics::{auc, ks, roc_curve, threshold_sweep};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn scored_sample(n: usize) -> (Vec<f64>, Vec<u8>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let mut scores = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let y = (rng.gen::<f64>() < 0.1) as u8;
+        scores.push(rng.gen::<f64>() * 0.8 + y as f64 * 0.2);
+        labels.push(y);
+    }
+    (scores, labels)
+}
+
+fn metric_benches(c: &mut Criterion) {
+    let (scores, labels) = scored_sample(100_000);
+    let mut group = c.benchmark_group("metrics_100k");
+    group.bench_function("auc", |b| b.iter(|| auc(&scores, &labels).expect("auc")));
+    group.bench_function("ks", |b| b.iter(|| ks(&scores, &labels).expect("ks")));
+    group.bench_function("roc_curve", |b| {
+        b.iter(|| roc_curve(&scores, &labels).expect("roc"))
+    });
+    let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    group.bench_function("threshold_sweep_21", |b| {
+        b.iter(|| threshold_sweep(&scores, &labels, &grid).expect("sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, metric_benches);
+criterion_main!(benches);

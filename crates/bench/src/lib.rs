@@ -1,0 +1,102 @@
+//! `lightmirm-bench` — shared fixtures for the Criterion benchmarks.
+//!
+//! The benches back the paper's efficiency artifacts: per-iteration
+//! meta-loss cost vs the number of environments `M` (Table III / Fig. 7,
+//! quadratic vs linear), the inner-loop step, GBDT training throughput,
+//! metric computation, and data generation.
+
+use lightmirm_core::prelude::*;
+use lightmirm_core::trainers::TrainConfig;
+use loansim::{generate, temporal_split, GeneratorConfig, ProvinceCatalog};
+
+/// Build a small benchmark world: `rows` records through a `trees`-tree
+/// extractor, temporally split, returning the train-side [`EnvDataset`].
+pub fn bench_dataset(rows: usize, trees: usize, seed: u64) -> EnvDataset {
+    let frame = generate(&GeneratorConfig {
+        rows,
+        seed,
+        ..Default::default()
+    });
+    let split = temporal_split(&frame, 2020);
+    let mut fe = FeatureExtractorConfig::default();
+    fe.gbdt.n_trees = trees;
+    let extractor = FeatureExtractor::fit(&split.train, &fe).expect("bench world fits");
+    extractor
+        .to_env_dataset(&split.train, ProvinceCatalog::standard().names(), None)
+        .expect("bench transform")
+}
+
+/// Restrict a dataset to its `m` largest environments (relabelled 0..m),
+/// for sweeps over the environment count.
+pub fn restrict_envs(data: &EnvDataset, m: usize) -> EnvDataset {
+    let mut sized: Vec<(usize, usize)> = data
+        .active_envs()
+        .into_iter()
+        .map(|e| (e, data.env_rows(e).len()))
+        .collect();
+    sized.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    sized.truncate(m);
+    let keep: std::collections::HashMap<usize, u16> = sized
+        .iter()
+        .enumerate()
+        .map(|(new, &(old, _))| (old, new as u16))
+        .collect();
+
+    let mut indices = Vec::new();
+    let mut labels = Vec::new();
+    let mut env_ids = Vec::new();
+    for r in 0..data.n_rows() {
+        if let Some(&new_env) = keep.get(&(data.env_ids[r] as usize)) {
+            indices.extend_from_slice(data.x.row(r));
+            labels.push(data.labels[r]);
+            env_ids.push(new_env);
+        }
+    }
+    let x = MultiHotMatrix::new(indices, data.x.nnz_per_row(), data.x.n_cols())
+        .expect("restricted matrix is well-formed");
+    let names = (0..m).map(|i| format!("env{i}")).collect();
+    EnvDataset::new(x, labels, env_ids, names).expect("restricted dataset is aligned")
+}
+
+/// A short trainer config for per-iteration measurements.
+pub fn bench_train_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        inner_lr: 0.1,
+        outer_lr: 0.05,
+        lambda: 0.5,
+        reg: 1e-4,
+        momentum: 0.9,
+        seed: 11,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_dataset_builds() {
+        let d = bench_dataset(3000, 6, 5);
+        assert!(d.n_rows() > 1000);
+        assert!(d.active_envs().len() > 3);
+    }
+
+    #[test]
+    fn restrict_envs_keeps_largest() {
+        let d = bench_dataset(4000, 6, 5);
+        let r = restrict_envs(&d, 3);
+        assert_eq!(r.active_envs().len(), 3);
+        assert!(r.n_rows() < d.n_rows());
+        // Largest kept environment is at least as big as any dropped one.
+        let kept_min = r
+            .env_sizes()
+            .iter()
+            .copied()
+            .filter(|&n| n > 0)
+            .min()
+            .unwrap();
+        let total_dropped = d.n_rows() - r.n_rows();
+        assert!(kept_min * d.active_envs().len() >= total_dropped / d.active_envs().len());
+    }
+}

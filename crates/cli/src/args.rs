@@ -1,0 +1,160 @@
+//! Minimal dependency-free flag parsing: `--key value` pairs plus a
+//! leading subcommand.
+
+use std::collections::BTreeMap;
+
+/// A parsed command line: subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or flag extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` appeared without a value.
+    MissingValue(String),
+    /// A positional token appeared where a flag was expected.
+    UnexpectedToken(String),
+    /// A required flag is absent.
+    MissingFlag(&'static str),
+    /// A flag's value failed to parse.
+    BadValue { flag: String, value: String },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::UnexpectedToken(tok) => write!(f, "unexpected token {tok}"),
+            ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} missing"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "cannot parse --{flag} value {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parse tokens (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// See [`ArgError`].
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut iter = tokens.into_iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::UnexpectedToken(command));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedToken(tok));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+            flags.insert(key.to_string(), value);
+        }
+        Ok(ParsedArgs { command, flags })
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingFlag`] when absent.
+    pub fn required(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.flags
+            .get(flag)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingFlag(flag))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = ParsedArgs::parse(toks("train --rows 100 --method lightmirm")).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.required("method").unwrap(), "lightmirm");
+        assert_eq!(a.get_or("rows", 0usize).unwrap(), 100);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = ParsedArgs::parse(toks("generate")).unwrap();
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+        assert!(a.optional("out").is_none());
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()).unwrap_err(),
+            ArgError::MissingCommand
+        );
+        assert_eq!(
+            ParsedArgs::parse(toks("train --rows")).unwrap_err(),
+            ArgError::MissingValue("--rows".into())
+        );
+        assert_eq!(
+            ParsedArgs::parse(toks("train stray")).unwrap_err(),
+            ArgError::UnexpectedToken("stray".into())
+        );
+        assert_eq!(
+            ParsedArgs::parse(toks("--rows 5")).unwrap_err(),
+            ArgError::UnexpectedToken("--rows".into())
+        );
+        let a = ParsedArgs::parse(toks("train --rows x")).unwrap();
+        assert!(matches!(
+            a.get_or("rows", 0usize),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert_eq!(
+            a.required("model").unwrap_err(),
+            ArgError::MissingFlag("model")
+        );
+    }
+
+    #[test]
+    fn later_flags_override_earlier() {
+        let a = ParsedArgs::parse(toks("x --k 1 --k 2")).unwrap();
+        assert_eq!(a.get_or("k", 0u32).unwrap(), 2);
+    }
+}

@@ -1,0 +1,460 @@
+//! Subcommand implementations, written as functions over parsed args so
+//! unit tests drive them without spawning processes.
+
+use std::path::Path;
+
+use lightmirm_core::prelude::*;
+use lightmirm_core::trainers::TrainConfig;
+use lightmirm_metrics::{auc, ks, lift_table, psi};
+use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog, Schema};
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Top-level CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    Args(ArgError),
+    Io(std::io::Error),
+    Data(String),
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "io: {e}"),
+            CliError::Data(msg) => write!(f, "{msg}"),
+            CliError::UnknownCommand(cmd) => write!(
+                f,
+                "unknown command {cmd:?}; expected generate | train | score | evaluate | audit | explain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Dispatch a parsed command line. `out` receives human-readable output
+/// (stdout in production, a buffer in tests).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for argument, IO, and data problems.
+pub fn run(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args, out),
+        "train" => cmd_train(args, out),
+        "score" => cmd_score(args, out),
+        "evaluate" => cmd_evaluate(args, out),
+        "audit" => cmd_audit(args, out),
+        "explain" => cmd_explain(args, out),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn load_frame(path: &str) -> Result<LoanFrame, CliError> {
+    let raw = std::fs::read(path)?;
+    if path.ends_with(".csv") {
+        loansim::from_csv(
+            std::str::from_utf8(&raw).map_err(|e| CliError::Data(format!("{path}: {e}")))?,
+        )
+        .map_err(|e| CliError::Data(format!("{path}: {e}")))
+    } else {
+        LoanFrame::from_bytes(bytes::Bytes::from(raw))
+            .map_err(|e| CliError::Data(format!("{path}: {e}")))
+    }
+}
+
+fn save_frame(frame: &LoanFrame, path: &str) -> Result<(), CliError> {
+    if path.ends_with(".csv") {
+        std::fs::write(path, loansim::to_csv(frame, &Schema::standard()))?;
+    } else {
+        std::fs::write(path, frame.to_bytes())?;
+    }
+    Ok(())
+}
+
+fn load_bundle(path: &str) -> Result<ModelBundle, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    ModelBundle::from_json(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+}
+
+/// `generate --out world.bin [--rows N] [--seed S]` — synthesize a world.
+/// A `.csv` suffix writes CSV instead of the binary format.
+fn cmd_generate(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let path = args.required("out")?;
+    let rows = args.get_or("rows", 50_000usize)?;
+    let seed = args.get_or("seed", 7u64)?;
+    let frame = generate(&GeneratorConfig {
+        rows,
+        seed,
+        ..Default::default()
+    });
+    save_frame(&frame, path)?;
+    writeln!(
+        out,
+        "wrote {} rows x {} features to {path} (default rate {:.2}%)",
+        frame.len(),
+        frame.n_features(),
+        frame.default_rate() * 100.0
+    )?;
+    Ok(())
+}
+
+fn parse_train_config(args: &ParsedArgs) -> Result<TrainConfig, ArgError> {
+    Ok(TrainConfig {
+        epochs: args.get_or("epochs", 60)?,
+        inner_lr: args.get_or("inner-lr", 0.1)?,
+        outer_lr: args.get_or("outer-lr", 0.3)?,
+        lambda: args.get_or("lambda", 0.5)?,
+        reg: args.get_or("reg", 1e-4)?,
+        momentum: args.get_or("momentum", 0.0)?,
+        seed: args.get_or("seed", 7)?,
+    })
+}
+
+/// `train --data world.bin --out model.json [--method lightmirm|meta-irm|erm]
+/// [--trees N] [--epochs N] [--mrq-len L] [--gamma G] [--batch-size B] …`
+/// — fit the GBDT extractor on pre-2020 rows and the chosen LR head
+/// (mini-batch SGD for ERM when `--batch-size` is set), and write a
+/// bundle.
+fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let data_path = args.required("data")?;
+    let model_path = args.required("out")?;
+    let method = args.optional("method").unwrap_or("lightmirm").to_string();
+    let trees = args.get_or("trees", 64usize)?;
+    let frame = load_frame(data_path)?;
+    let split = temporal_split(&frame, 2020);
+    if split.train.is_empty() {
+        return Err(CliError::Data("no pre-2020 training rows in data".into()));
+    }
+
+    let mut fe = FeatureExtractorConfig::default();
+    fe.gbdt.n_trees = trees;
+    let extractor = FeatureExtractor::fit(&split.train, &fe)
+        .map_err(|e| CliError::Data(format!("GBDT: {e}")))?;
+    let names = ProvinceCatalog::standard().names();
+    let train = extractor
+        .to_env_dataset(&split.train, names, None)
+        .map_err(|e| CliError::Data(format!("transform: {e}")))?;
+
+    let tc = parse_train_config(args)?;
+    let output = match method.as_str() {
+        "erm" => {
+            let erm_tc = TrainConfig {
+                outer_lr: args.get_or("outer-lr", 0.05)?,
+                momentum: args.get_or("momentum", 0.9)?,
+                ..tc.clone()
+            };
+            match args.get_or("batch-size", 0usize)? {
+                0 => ErmTrainer::new(erm_tc).fit(&train, None),
+                b => ErmTrainer::with_batch_size(erm_tc, b).fit(&train, None),
+            }
+        }
+        "meta-irm" => MetaIrmTrainer::new(tc.clone()).fit(&train, None),
+        "lightmirm" => {
+            let mrq_len = args.get_or("mrq-len", 5usize)?;
+            let gamma = args.get_or("gamma", 0.9f64)?;
+            LightMirmTrainer::with_mrq(tc.clone(), mrq_len, gamma).fit(&train, None)
+        }
+        other => {
+            return Err(CliError::Data(format!(
+                "unknown method {other:?}; expected erm | meta-irm | lightmirm"
+            )))
+        }
+    };
+
+    let bundle = ModelBundle::new(
+        extractor.gbdt().clone(),
+        &output.model,
+        BundleMetadata {
+            trainer: method.clone(),
+            seed: tc.seed,
+            notes: format!(
+                "trained on {} rows from {data_path}; {} env-loss ops",
+                split.train.len(),
+                output.ops.total()
+            ),
+        },
+    )
+    .map_err(|e| CliError::Data(e.to_string()))?;
+    std::fs::write(model_path, bundle.to_json())?;
+    writeln!(
+        out,
+        "trained {method} on {} rows ({} env-loss ops); bundle at {model_path}",
+        split.train.len(),
+        output.ops.total()
+    )?;
+    Ok(())
+}
+
+/// `score --model model.json --data world.bin --out scores.csv` — batch
+/// scoring through the bundle.
+fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let bundle = load_bundle(args.required("model")?)?;
+    let frame = load_frame(args.required("data")?)?;
+    let out_path = args.required("out")?;
+    let mut text = String::from("row,province,score\n");
+    for r in 0..frame.len() {
+        let score = bundle.score(frame.row(r), frame.province[r]);
+        text.push_str(&format!("{r},{},{score:.6}\n", frame.province[r]));
+    }
+    std::fs::write(Path::new(out_path), text)?;
+    writeln!(out, "scored {} rows into {out_path}", frame.len())?;
+    Ok(())
+}
+
+/// `evaluate --model model.json --data world.bin [--min-rows N]` — the
+/// paper's mKS/wKS/mAUC/wAUC per-province summary on the 2020 slice.
+fn cmd_evaluate(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let bundle = load_bundle(args.required("model")?)?;
+    let frame = load_frame(args.required("data")?)?;
+    let min_rows = args.get_or("min-rows", 50usize)?;
+    let test_rows = frame.filter_rows(|y, _, _| y == 2020);
+    if test_rows.is_empty() {
+        return Err(CliError::Data("no 2020 rows to evaluate".into()));
+    }
+    let test = frame.select(&test_rows);
+    let catalog = ProvinceCatalog::standard();
+    let mut buckets: Vec<lightmirm_metrics::EnvScores> = catalog
+        .names()
+        .into_iter()
+        .map(lightmirm_metrics::EnvScores::new)
+        .collect();
+    for r in 0..test.len() {
+        let score = bundle.score(test.row(r), test.province[r]);
+        buckets[test.province[r] as usize].push(score, test.label[r]);
+    }
+    buckets.retain(|b| b.len() >= min_rows);
+    let summary = lightmirm_metrics::FairnessSummary::compute(&buckets)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    writeln!(
+        out,
+        "provinces evaluated: {} (>= {min_rows} rows each)",
+        summary.envs.len()
+    )?;
+    writeln!(
+        out,
+        "mKS {:.4}  wKS {:.4} ({})  mAUC {:.4}  wAUC {:.4} ({})",
+        summary.m_ks,
+        summary.w_ks,
+        summary.worst_ks_env,
+        summary.m_auc,
+        summary.w_auc,
+        summary.worst_auc_env
+    )?;
+
+    // Pooled decile lift table (the standard model-documentation view).
+    let mut scores = Vec::with_capacity(test.len());
+    for r in 0..test.len() {
+        scores.push(bundle.score(test.row(r), test.province[r]));
+    }
+    if let Ok(table) = lift_table(&scores, &test.label, 10) {
+        writeln!(out, "\ndecile lift (1 = riskiest):")?;
+        for b in &table {
+            writeln!(
+                out,
+                "  {:>2}: rate {:>6.2}%  lift {:>5.2}  cum.capture {:>5.1}%",
+                b.rank,
+                b.rate * 100.0,
+                b.lift,
+                b.cumulative_capture * 100.0
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `audit --model model.json --baseline base.bin --current cur.bin` —
+/// score-drift PSI plus discrimination on both slices.
+fn cmd_audit(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let bundle = load_bundle(args.required("model")?)?;
+    let baseline = load_frame(args.required("baseline")?)?;
+    let current = load_frame(args.required("current")?)?;
+    let score_all = |frame: &LoanFrame| -> Vec<f64> {
+        (0..frame.len())
+            .map(|r| bundle.score(frame.row(r), frame.province[r]))
+            .collect()
+    };
+    let base_scores = score_all(&baseline);
+    let cur_scores = score_all(&current);
+    let drift = psi(&base_scores, &cur_scores, 10).map_err(|e| CliError::Data(e.to_string()))?;
+    writeln!(out, "score PSI: {:.4} ({:?})", drift.psi, drift.level())?;
+    for (name, scores, frame) in [
+        ("baseline", &base_scores, &baseline),
+        ("current", &cur_scores, &current),
+    ] {
+        match (ks(scores, &frame.label), auc(scores, &frame.label)) {
+            (Ok(k), Ok(a)) => writeln!(
+                out,
+                "{name}: KS {k:.4} AUC {a:.4} over {} rows",
+                frame.len()
+            )?,
+            _ => writeln!(out, "{name}: discrimination unscorable (single class?)")?,
+        }
+    }
+    Ok(())
+}
+
+/// `explain --model model.json --data world.bin --row N [--top K]` —
+/// additive reason codes for one application's score (the adverse-action
+/// explanation lending regulations require).
+fn cmd_explain(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let bundle = load_bundle(args.required("model")?)?;
+    let frame = load_frame(args.required("data")?)?;
+    let row = args.get_or("row", 0usize)?;
+    let top = args.get_or("top", 5usize)?;
+    if row >= frame.len() {
+        return Err(CliError::Data(format!(
+            "row {row} out of range ({} rows)",
+            frame.len()
+        )));
+    }
+    let head = match &bundle.model {
+        lightmirm_core::bundle::StoredModel::Global(m) => m.clone(),
+        lightmirm_core::bundle::StoredModel::PerEnv { base, per_env } => per_env
+            .get(frame.province[row] as usize)
+            .and_then(Option::as_ref)
+            .unwrap_or(base)
+            .clone(),
+    };
+    let ex = lightmirm_core::explain::explain_row(&bundle.extractor, &head, frame.row(row));
+    let schema = Schema::standard();
+    let catalog = ProvinceCatalog::standard();
+    writeln!(
+        out,
+        "row {row} ({}, {}): default probability {:.2}% (logit {:+.4}), actual label {}",
+        catalog.get(frame.province[row]).name,
+        frame.year[row],
+        ex.probability * 100.0,
+        ex.logit,
+        frame.label[row]
+    )?;
+    let reasons = ex.top_risk_features(top);
+    if reasons.is_empty() {
+        writeln!(
+            out,
+            "no positive risk drivers (all attributions pull toward approval)"
+        )?;
+    } else {
+        writeln!(out, "top risk drivers (reason codes):")?;
+        for (f, attribution) in reasons {
+            let name = schema
+                .features()
+                .get(f as usize)
+                .map(|d| d.name.as_str())
+                .unwrap_or("?");
+            writeln!(out, "  {name:<24} {attribution:+.4}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("lightmirm-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        let args = ParsedArgs::parse(line.split_whitespace().map(String::from)).expect("parses");
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn full_workflow_generate_train_score_evaluate_audit() {
+        let data = tmp("world.bin");
+        let model = tmp("model.json");
+        let scores = tmp("scores.csv");
+
+        let msg = run_line(&format!("generate --out {data} --rows 6000 --seed 3")).unwrap();
+        assert!(msg.contains("6000 rows"));
+
+        let msg = run_line(&format!(
+            "train --data {data} --out {model} --method lightmirm --trees 8 --epochs 5"
+        ))
+        .unwrap();
+        assert!(msg.contains("lightmirm"), "{msg}");
+
+        let msg = run_line(&format!(
+            "score --model {model} --data {data} --out {scores}"
+        ))
+        .unwrap();
+        assert!(msg.contains("scored 6000 rows"));
+        let written = std::fs::read_to_string(&scores).unwrap();
+        assert!(written.starts_with("row,province,score\n"));
+        assert_eq!(written.lines().count(), 6001);
+
+        let msg = run_line(&format!(
+            "evaluate --model {model} --data {data} --min-rows 20"
+        ))
+        .unwrap();
+        assert!(msg.contains("mKS"), "{msg}");
+
+        let msg = run_line(&format!(
+            "audit --model {model} --baseline {data} --current {data}"
+        ))
+        .unwrap();
+        assert!(msg.contains("score PSI: 0.0000"), "{msg}");
+
+        let msg = run_line(&format!(
+            "explain --model {model} --data {data} --row 3 --top 4"
+        ))
+        .unwrap();
+        assert!(msg.contains("default probability"), "{msg}");
+        assert!(msg.contains("reason codes"), "{msg}");
+    }
+
+    #[test]
+    fn generate_csv_round_trips_through_train() {
+        let data = tmp("world.csv");
+        let model = tmp("model2.json");
+        run_line(&format!("generate --out {data} --rows 3000 --seed 5")).unwrap();
+        let msg = run_line(&format!(
+            "train --data {data} --out {model} --method erm --trees 6 --epochs 5"
+        ))
+        .unwrap();
+        assert!(msg.contains("erm"));
+    }
+
+    #[test]
+    fn unknown_command_and_method_error() {
+        assert!(matches!(
+            run_line("frobnicate --x 1"),
+            Err(CliError::UnknownCommand(_))
+        ));
+        let data = tmp("world3.bin");
+        run_line(&format!("generate --out {data} --rows 2000 --seed 1")).unwrap();
+        let model = tmp("model3.json");
+        let err =
+            run_line(&format!("train --data {data} --out {model} --method magic")).unwrap_err();
+        assert!(matches!(err, CliError::Data(_)));
+    }
+
+    #[test]
+    fn missing_files_surface_io_errors() {
+        assert!(matches!(
+            run_line("score --model /nonexistent.json --data /nonexistent.bin --out /tmp/x"),
+            Err(CliError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,121 @@
+//! Seeded mini-batch iteration.
+//!
+//! The paper's environments can be consumed "in a mini-batch manner"
+//! (footnote 6); [`Batcher`] provides the deterministic, reshuffled batch
+//! schedule the SGD variants of the trainers use.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic mini-batch scheduler over a fixed row set.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    rows: Vec<u32>,
+    batch_size: usize,
+    seed: u64,
+}
+
+impl Batcher {
+    /// Create a scheduler over `rows` with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0` or `rows` is empty.
+    pub fn new(rows: &[u32], batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(!rows.is_empty(), "cannot batch an empty row set");
+        Batcher {
+            rows: rows.to_vec(),
+            batch_size,
+            seed,
+        }
+    }
+
+    /// Number of batches per epoch (last batch may be short).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.rows.len().div_ceil(self.batch_size)
+    }
+
+    /// The shuffled batches of one epoch. Each epoch uses an independent,
+    /// deterministic permutation derived from `(seed, epoch)`.
+    pub fn epoch(&self, epoch: usize) -> Vec<Vec<u32>> {
+        let mut shuffled = self.rows.clone();
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        shuffled.shuffle(&mut rng);
+        shuffled
+            .chunks(self.batch_size)
+            .map(<[u32]>::to_vec)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_partition_the_rows() {
+        let rows: Vec<u32> = (0..103).collect();
+        let b = Batcher::new(&rows, 10, 3);
+        assert_eq!(b.batches_per_epoch(), 11);
+        let batches = b.epoch(0);
+        assert_eq!(batches.len(), 11);
+        let mut all: Vec<u32> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, rows);
+        assert_eq!(batches.last().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn epochs_reshuffle_deterministically() {
+        let rows: Vec<u32> = (0..50).collect();
+        let b = Batcher::new(&rows, 8, 9);
+        assert_eq!(b.epoch(0), b.epoch(0));
+        assert_ne!(b.epoch(0), b.epoch(1));
+        let c = Batcher::new(&rows, 8, 10);
+        assert_ne!(b.epoch(0), c.epoch(0));
+    }
+
+    #[test]
+    fn batch_size_larger_than_rows_is_one_batch() {
+        let rows: Vec<u32> = (0..5).collect();
+        let b = Batcher::new(&rows, 100, 1);
+        assert_eq!(b.batches_per_epoch(), 1);
+        assert_eq!(b.epoch(7).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = Batcher::new(&[1], 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty row set")]
+    fn empty_rows_rejected() {
+        let _ = Batcher::new(&[], 4, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn every_epoch_is_a_permutation(
+                n in 1usize..200,
+                batch in 1usize..50,
+                seed in 0u64..100,
+                epoch in 0usize..5,
+            ) {
+                let rows: Vec<u32> = (0..n as u32).collect();
+                let b = Batcher::new(&rows, batch, seed);
+                let mut all: Vec<u32> = b.epoch(epoch).concat();
+                all.sort_unstable();
+                prop_assert_eq!(all, rows);
+            }
+        }
+    }
+}

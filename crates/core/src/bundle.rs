@@ -1,0 +1,297 @@
+//! Deployable model bundles: the artifact the paper's platform ships.
+//!
+//! A scoring service needs the GBDT feature extractor and the LR head
+//! together, versioned, with enough metadata to audit which world and
+//! hyper-parameters produced them. [`ModelBundle`] serializes the pair to
+//! a single JSON document and checks versions on load.
+
+use lightmirm_gbdt::Gbdt;
+use serde::{Deserialize, Serialize};
+
+use crate::lr::LrModel;
+use crate::trainers::TrainedModel;
+
+/// Format version of the bundle layout.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// Serializable form of [`TrainedModel`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum StoredModel {
+    /// One global LR head.
+    Global(LrModel),
+    /// Per-environment fine-tuned heads with a global fallback.
+    PerEnv {
+        base: LrModel,
+        per_env: Vec<Option<LrModel>>,
+    },
+}
+
+impl From<&TrainedModel> for StoredModel {
+    fn from(m: &TrainedModel) -> Self {
+        match m {
+            TrainedModel::Global(model) => StoredModel::Global(model.clone()),
+            TrainedModel::PerEnv { base, per_env } => StoredModel::PerEnv {
+                base: base.clone(),
+                per_env: per_env.clone(),
+            },
+        }
+    }
+}
+
+impl From<StoredModel> for TrainedModel {
+    fn from(m: StoredModel) -> Self {
+        match m {
+            StoredModel::Global(model) => TrainedModel::Global(model),
+            StoredModel::PerEnv { base, per_env } => TrainedModel::PerEnv { base, per_env },
+        }
+    }
+}
+
+/// Free-form provenance recorded with a bundle.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct BundleMetadata {
+    /// Trainer name, e.g. `"LightMIRM(L=5,g=0.9)"`.
+    pub trainer: String,
+    /// World/train seed.
+    pub seed: u64,
+    /// Free-form notes (dataset description, validation metrics, …).
+    pub notes: String,
+}
+
+/// The deployable artifact: extractor + head + provenance.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ModelBundle {
+    version: u32,
+    /// The GBDT feature extractor (raw features → leaf indices).
+    pub extractor: Gbdt,
+    /// The trained LR head over the leaf space.
+    pub model: StoredModel,
+    /// Provenance.
+    pub metadata: BundleMetadata,
+}
+
+/// Errors from bundle persistence.
+#[derive(Debug)]
+pub enum BundleError {
+    /// The JSON did not parse.
+    Malformed(serde_json::Error),
+    /// The format version is unsupported.
+    VersionMismatch { found: u32, supported: u32 },
+    /// Extractor and head disagree on the leaf-space dimension.
+    DimensionMismatch { leaves: usize, weights: usize },
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Malformed(e) => write!(f, "malformed bundle: {e}"),
+            BundleError::VersionMismatch { found, supported } => {
+                write!(f, "bundle version {found}, supported {supported}")
+            }
+            BundleError::DimensionMismatch { leaves, weights } => write!(
+                f,
+                "extractor has {leaves} leaves but head has {weights} weights"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl ModelBundle {
+    /// Assemble a bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BundleError::DimensionMismatch`] when the head's weight
+    /// vector does not match the extractor's leaf count.
+    pub fn new(
+        extractor: Gbdt,
+        model: &TrainedModel,
+        metadata: BundleMetadata,
+    ) -> Result<Self, BundleError> {
+        let leaves = extractor.total_leaves();
+        let weights = model.global().weights.len();
+        if leaves != weights {
+            return Err(BundleError::DimensionMismatch { leaves, weights });
+        }
+        Ok(ModelBundle {
+            version: BUNDLE_VERSION,
+            extractor,
+            model: StoredModel::from(model),
+            metadata,
+        })
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("bundle types serialize infallibly")
+    }
+
+    /// Parse and validate a bundle.
+    ///
+    /// # Errors
+    ///
+    /// See [`BundleError`].
+    pub fn from_json(text: &str) -> Result<Self, BundleError> {
+        let bundle: ModelBundle = serde_json::from_str(text).map_err(BundleError::Malformed)?;
+        if bundle.version != BUNDLE_VERSION {
+            return Err(BundleError::VersionMismatch {
+                found: bundle.version,
+                supported: BUNDLE_VERSION,
+            });
+        }
+        let leaves = bundle.extractor.total_leaves();
+        let weights = match &bundle.model {
+            StoredModel::Global(m) => m.weights.len(),
+            StoredModel::PerEnv { base, .. } => base.weights.len(),
+        };
+        if leaves != weights {
+            return Err(BundleError::DimensionMismatch { leaves, weights });
+        }
+        Ok(bundle)
+    }
+
+    /// Score one raw feature row end to end (extract leaves, apply the
+    /// head). `env_id` selects the per-environment head when present.
+    pub fn score(&self, raw_row: &[f32], env_id: u16) -> f64 {
+        let mut leaf_buf = Vec::new();
+        self.extractor.transform_row(raw_row, &mut leaf_buf);
+        let head = match &self.model {
+            StoredModel::Global(m) => m,
+            StoredModel::PerEnv { base, per_env } => per_env
+                .get(env_id as usize)
+                .and_then(Option::as_ref)
+                .unwrap_or(base),
+        };
+        let z: f64 = leaf_buf.iter().map(|&i| head.weights[i as usize]).sum();
+        crate::lr::sigmoid(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightmirm_gbdt::{GbdtConfig, GrowConfig};
+
+    fn demo_parts() -> (Gbdt, Vec<f32>, Vec<u8>) {
+        let n = 400;
+        let mut feats = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = (i % 100) as f32 / 100.0;
+            feats.extend_from_slice(&[x, (i % 7) as f32]);
+            labels.push((x > 0.5) as u8);
+        }
+        let gbdt = Gbdt::fit(
+            &feats,
+            2,
+            &labels,
+            &GbdtConfig {
+                n_trees: 4,
+                learning_rate: 0.3,
+                max_bins: 16,
+                grow: GrowConfig {
+                    max_leaves: 4,
+                    min_data_in_leaf: 10,
+                    lambda_l2: 1.0,
+                    min_gain: 1e-6,
+                },
+                ..Default::default()
+            },
+        )
+        .expect("toy fits");
+        (gbdt, feats, labels)
+    }
+
+    fn demo_bundle() -> (ModelBundle, Vec<f32>) {
+        let (gbdt, feats, _) = demo_parts();
+        let model = TrainedModel::Global(LrModel {
+            weights: (0..gbdt.total_leaves())
+                .map(|i| (i as f64) * 0.1 - 0.5)
+                .collect(),
+        });
+        let bundle = ModelBundle::new(
+            gbdt,
+            &model,
+            BundleMetadata {
+                trainer: "test".into(),
+                seed: 1,
+                notes: "demo".into(),
+            },
+        )
+        .expect("dimensions match");
+        (bundle, feats)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_scores() {
+        let (bundle, feats) = demo_bundle();
+        let json = bundle.to_json();
+        let back = ModelBundle::from_json(&json).expect("valid bundle");
+        assert_eq!(bundle, back);
+        for row in feats.chunks_exact(2).take(20) {
+            assert_eq!(bundle.score(row, 0), back.score(row, 0));
+        }
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (bundle, feats) = demo_bundle();
+        for row in feats.chunks_exact(2) {
+            let p = bundle.score(row, 3);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_on_build() {
+        let (gbdt, _, _) = demo_parts();
+        let model = TrainedModel::Global(LrModel {
+            weights: vec![0.0; 3],
+        });
+        assert!(matches!(
+            ModelBundle::new(gbdt, &model, BundleMetadata::default()),
+            Err(BundleError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_version_mismatch_on_load() {
+        let (bundle, _) = demo_bundle();
+        let json = bundle.to_json().replace("\"version\":1", "\"version\":99");
+        assert!(matches!(
+            ModelBundle::from_json(&json),
+            Err(BundleError::VersionMismatch { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            ModelBundle::from_json("not json"),
+            Err(BundleError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn per_env_bundle_routes_heads() {
+        let (gbdt, feats, _) = demo_parts();
+        let dim = gbdt.total_leaves();
+        let base = LrModel {
+            weights: vec![0.0; dim],
+        };
+        let hot = LrModel {
+            weights: vec![10.0; dim],
+        };
+        let model = TrainedModel::PerEnv {
+            base: base.clone(),
+            per_env: vec![Some(hot), None],
+        };
+        let bundle = ModelBundle::new(gbdt, &model, BundleMetadata::default()).expect("ok");
+        let row = &feats[0..2];
+        assert!(bundle.score(row, 0) > 0.99); // env 0: hot head
+        assert!((bundle.score(row, 1) - 0.5).abs() < 1e-12); // env 1: base
+        assert!((bundle.score(row, 42) - 0.5).abs() < 1e-12); // unknown env
+    }
+}

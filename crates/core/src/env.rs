@@ -1,0 +1,180 @@
+//! Environment-partitioned datasets: the `D = {D_1, …, D_M}` of the paper.
+
+use crate::sparse::MultiHotMatrix;
+
+/// A dataset whose rows are grouped into environments (provinces).
+#[derive(Debug, Clone)]
+pub struct EnvDataset {
+    /// Multi-hot design matrix (GBDT leaf encoding).
+    pub x: MultiHotMatrix,
+    /// Binary default labels, aligned with `x` rows.
+    pub labels: Vec<u8>,
+    /// Environment id of every row.
+    pub env_ids: Vec<u16>,
+    /// `rows_of[m]` = row indices of environment `m`. Environments with no
+    /// rows have empty vectors and are skipped by trainers.
+    rows_of: Vec<Vec<u32>>,
+    /// Environment display names, indexed by id.
+    pub env_names: Vec<String>,
+}
+
+/// Errors from dataset assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvError {
+    /// Labels / env ids don't match the matrix rows.
+    LengthMismatch {
+        rows: usize,
+        labels: usize,
+        env_ids: usize,
+    },
+    /// An env id exceeds the name catalog.
+    UnknownEnv { id: u16, catalog: usize },
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvError::LengthMismatch {
+                rows,
+                labels,
+                env_ids,
+            } => write!(
+                f,
+                "matrix has {rows} rows but {labels} labels / {env_ids} env ids"
+            ),
+            EnvError::UnknownEnv { id, catalog } => {
+                write!(f, "env id {id} outside catalog of size {catalog}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl EnvDataset {
+    /// Assemble a dataset, grouping rows by environment.
+    ///
+    /// # Errors
+    ///
+    /// See [`EnvError`].
+    pub fn new(
+        x: MultiHotMatrix,
+        labels: Vec<u8>,
+        env_ids: Vec<u16>,
+        env_names: Vec<String>,
+    ) -> Result<Self, EnvError> {
+        if labels.len() != x.n_rows() || env_ids.len() != x.n_rows() {
+            return Err(EnvError::LengthMismatch {
+                rows: x.n_rows(),
+                labels: labels.len(),
+                env_ids: env_ids.len(),
+            });
+        }
+        if let Some(&bad) = env_ids.iter().find(|&&e| e as usize >= env_names.len()) {
+            return Err(EnvError::UnknownEnv {
+                id: bad,
+                catalog: env_names.len(),
+            });
+        }
+        let mut rows_of = vec![Vec::new(); env_names.len()];
+        for (r, &e) in env_ids.iter().enumerate() {
+            rows_of[e as usize].push(r as u32);
+        }
+        Ok(EnvDataset {
+            x,
+            labels,
+            env_ids,
+            rows_of,
+            env_names,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.x.n_rows()
+    }
+
+    /// Parameter dimension of the LR model over this dataset.
+    pub fn n_cols(&self) -> usize {
+        self.x.n_cols()
+    }
+
+    /// Total number of environments in the catalog (including empty ones).
+    pub fn n_envs(&self) -> usize {
+        self.rows_of.len()
+    }
+
+    /// Row indices of environment `m` (possibly empty).
+    pub fn env_rows(&self, m: usize) -> &[u32] {
+        &self.rows_of[m]
+    }
+
+    /// Ids of environments that actually have rows — trainers iterate
+    /// these; the paper's `M` is their count. Environments with a single
+    /// sample are included (loss is defined) — only empty ones are
+    /// dropped.
+    pub fn active_envs(&self) -> Vec<usize> {
+        (0..self.rows_of.len())
+            .filter(|&m| !self.rows_of[m].is_empty())
+            .collect()
+    }
+
+    /// All row indices (the pooled ERM view).
+    pub fn all_rows(&self) -> Vec<u32> {
+        (0..self.n_rows() as u32).collect()
+    }
+
+    /// Per-environment sample counts.
+    pub fn env_sizes(&self) -> Vec<usize> {
+        self.rows_of.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> EnvDataset {
+        let x = MultiHotMatrix::new(vec![0, 1, 1, 2, 0, 2, 2, 3], 2, 4).unwrap();
+        EnvDataset::new(
+            x,
+            vec![1, 0, 1, 0],
+            vec![0, 2, 0, 2],
+            vec!["A".into(), "B".into(), "C".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grouping_by_env() {
+        let d = demo();
+        assert_eq!(d.env_rows(0), &[0, 2]);
+        assert_eq!(d.env_rows(1), &[] as &[u32]);
+        assert_eq!(d.env_rows(2), &[1, 3]);
+        assert_eq!(d.active_envs(), vec![0, 2]);
+        assert_eq!(d.env_sizes(), vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = demo();
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.n_cols(), 4);
+        assert_eq!(d.n_envs(), 3);
+        assert_eq!(d.all_rows(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let x = MultiHotMatrix::new(vec![0, 1], 2, 4).unwrap();
+        let err = EnvDataset::new(x, vec![1, 0], vec![0], vec!["A".into()]).unwrap_err();
+        assert!(matches!(err, EnvError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_env() {
+        let x = MultiHotMatrix::new(vec![0, 1], 2, 4).unwrap();
+        let err = EnvDataset::new(x, vec![1], vec![5], vec!["A".into()]).unwrap_err();
+        assert_eq!(err, EnvError::UnknownEnv { id: 5, catalog: 1 });
+    }
+}

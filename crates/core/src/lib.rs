@@ -1,0 +1,83 @@
+//! `lightmirm-core` — the LightMIRM paper's primary contribution.
+//!
+//! This crate implements, from scratch:
+//!
+//! - the **multi-hot design matrix** produced by the GBDT+LR transform
+//!   ([`sparse`]) and the **logistic-regression** model with closed-form
+//!   gradients and Hessian-vector products ([`lr`]);
+//! - **environment-partitioned datasets** ([`mod@env`]);
+//! - the **trainers** of the paper's evaluation ([`trainers`]): ERM,
+//!   ERM + per-province fine-tuning, environment up-sampling, Group DRO,
+//!   V-REx, IRMv1, meta-IRM (Algorithm 1, complete and sampled), and
+//!   **LightMIRM** (Algorithm 2) with the meta-loss replaying queue
+//!   ([`mrq`]);
+//! - Table-III **step timing** and §III-F **operation accounting**
+//!   ([`timing`]) — the `O(2M²)` vs `O(4M)` claims are asserted exactly in
+//!   tests;
+//! - the end-to-end **GBDT+LR pipeline** ([`pipeline`]), per-province
+//!   **fairness evaluation** ([`eval`]), the **online replay
+//!   simulator** behind Fig. 5 ([`online`]), and versioned **deployable
+//!   model bundles** ([`bundle`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use lightmirm_core::prelude::*;
+//! use lightmirm_core::trainers::TrainConfig;
+//! use loansim::{generate, temporal_split, GeneratorConfig, ProvinceCatalog};
+//!
+//! // A tiny synthetic world, split as the paper does (2016–19 / 2020).
+//! let frame = generate(&GeneratorConfig::small(2000, 1));
+//! let split = temporal_split(&frame, 2020);
+//!
+//! // Feature extraction (GBDT trained with ERM), then LightMIRM on top.
+//! let mut fe_cfg = FeatureExtractorConfig::default();
+//! fe_cfg.gbdt.n_trees = 8;
+//! let extractor = FeatureExtractor::fit(&split.train, &fe_cfg).unwrap();
+//! let names = ProvinceCatalog::standard().names();
+//! let train = extractor.to_env_dataset(&split.train, names.clone(), None).unwrap();
+//! let test = extractor.to_env_dataset(&split.test, names, None).unwrap();
+//!
+//! let trainer = LightMirmTrainer::new(TrainConfig { epochs: 5, ..Default::default() });
+//! let out = trainer.fit(&train, None);
+//! let summary = evaluate(&out.model, &test).unwrap();
+//! assert!(summary.m_auc > 0.5);
+//! ```
+
+pub mod batch;
+pub mod bundle;
+pub mod env;
+pub mod eval;
+pub mod explain;
+pub mod lr;
+pub mod mrq;
+pub mod nonlinear;
+pub mod online;
+pub mod pipeline;
+pub mod sparse;
+pub mod timing;
+pub mod trainers;
+
+/// Convenient single-import surface.
+pub mod prelude {
+    pub use crate::batch::Batcher;
+    pub use crate::bundle::{BundleError, BundleMetadata, ModelBundle, StoredModel};
+    pub use crate::env::EnvDataset;
+    pub use crate::eval::{evaluate, evaluate_filtered, score_rows};
+    pub use crate::explain::{explain_row, Explanation, TreeContribution};
+    pub use crate::lr::{env_grad, env_hvp, env_loss, sigmoid, LrModel};
+    pub use crate::mrq::MetaReplayQueue;
+    pub use crate::nonlinear::{light_mirm_generic, EnvObjective, LinearObjective, MlpModel};
+    pub use crate::online::{
+        best_threshold, realized_profit, replay, OnlinePoint, OnlineReplay, ProfitModel,
+    };
+    pub use crate::pipeline::{FeatureExtractor, FeatureExtractorConfig, PipelineError};
+    pub use crate::sparse::MultiHotMatrix;
+    pub use crate::timing::{OpCounter, Step, StepTimer};
+    pub use crate::trainers::{
+        ErmTrainer, FineTuneTrainer, GroupDroTrainer, Irmv1Trainer, LightMirmTrainer,
+        MetaIrmTrainer, TrainConfig, TrainOutput, TrainedModel, UpSamplingTrainer, VRexTrainer,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,364 @@
+//! Logistic regression over multi-hot features, with the closed-form
+//! quantities meta-learning needs.
+//!
+//! The model is exactly the paper's Eq. (2): `ŷ = σ(θᵀx)` with `x` the
+//! multi-hot GBDT encoding. Besides the loss and gradient, this module
+//! provides the **Hessian-vector product**
+//! `H·v = 1/n Σ σ'(θᵀxᵢ)(xᵢᵀv)xᵢ (+ reg·v)`, which makes the meta-IRM
+//! outer gradient exact without a tape: the Jacobian of the inner step
+//! `θ̄ = θ − α∇R(θ)` is `I − αH(θ)`, so back-propagating a vector `u`
+//! through the inner step costs one HVP.
+
+use crate::sparse::MultiHotMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Numerically-stable logistic function.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A trained LR model (weights over the multi-hot feature space).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LrModel {
+    /// θ — one weight per GBDT leaf.
+    pub weights: Vec<f64>,
+}
+
+impl LrModel {
+    /// Zero-initialized model of the given dimension.
+    pub fn zeros(n_cols: usize) -> Self {
+        LrModel {
+            weights: vec![0.0; n_cols],
+        }
+    }
+
+    /// Logit for one row.
+    pub fn logit(&self, x: &MultiHotMatrix, row: usize) -> f64 {
+        x.dot_row(row, &self.weights)
+    }
+
+    /// Default probability for one row.
+    pub fn predict_row(&self, x: &MultiHotMatrix, row: usize) -> f64 {
+        sigmoid(self.logit(x, row))
+    }
+
+    /// Default probabilities for every row.
+    pub fn predict(&self, x: &MultiHotMatrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|r| self.predict_row(x, r)).collect()
+    }
+
+    /// Probabilities for a subset of rows, in subset order.
+    pub fn predict_rows(&self, x: &MultiHotMatrix, rows: &[u32]) -> Vec<f64> {
+        rows.iter()
+            .map(|&r| self.predict_row(x, r as usize))
+            .collect()
+    }
+}
+
+/// Mean binary cross entropy of `θ` over the given rows (paper Eq. (4)),
+/// plus `reg/2 · ‖θ‖²`.
+///
+/// # Panics
+///
+/// Panics when `rows` is empty — callers must skip empty environments.
+pub fn env_loss(theta: &[f64], x: &MultiHotMatrix, labels: &[u8], rows: &[u32], reg: f64) -> f64 {
+    assert!(!rows.is_empty(), "loss over an empty environment");
+    let mut total = 0.0;
+    for &r in rows {
+        let z = x.dot_row(r as usize, theta);
+        let y = labels[r as usize] as f64;
+        // Stable BCE-with-logits: softplus(z) − y z.
+        let softplus = if z > 0.0 {
+            z + (-z).exp().ln_1p()
+        } else {
+            z.exp().ln_1p()
+        };
+        total += softplus - y * z;
+    }
+    let mut loss = total / rows.len() as f64;
+    if reg > 0.0 {
+        loss += reg / 2.0 * theta.iter().map(|w| w * w).sum::<f64>();
+    }
+    loss
+}
+
+/// Gradient of [`env_loss`]: `1/n Σ (σ(θᵀxᵢ) − yᵢ) xᵢ + reg·θ`.
+///
+/// Writes into `out` (zeroed first) to let hot loops reuse buffers.
+pub fn env_grad(
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    labels: &[u8],
+    rows: &[u32],
+    reg: f64,
+    out: &mut [f64],
+) {
+    assert!(!rows.is_empty(), "gradient over an empty environment");
+    debug_assert_eq!(out.len(), theta.len());
+    out.fill(0.0);
+    let inv_n = 1.0 / rows.len() as f64;
+    for &r in rows {
+        let r = r as usize;
+        let z = x.dot_row(r, theta);
+        let coef = (sigmoid(z) - labels[r] as f64) * inv_n;
+        x.scatter_add(r, coef, out);
+    }
+    if reg > 0.0 {
+        for (o, &w) in out.iter_mut().zip(theta) {
+            *o += reg * w;
+        }
+    }
+}
+
+/// Hessian-vector product of [`env_loss`] at `theta` applied to `v`:
+/// `H·v = 1/n Σ pᵢ(1−pᵢ)(xᵢᵀv) xᵢ + reg·v`.
+pub fn env_hvp(
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    labels: &[u8],
+    rows: &[u32],
+    reg: f64,
+    v: &[f64],
+    out: &mut [f64],
+) {
+    let _ = labels; // the logloss Hessian does not involve the labels
+    assert!(!rows.is_empty(), "HVP over an empty environment");
+    debug_assert_eq!(out.len(), theta.len());
+    debug_assert_eq!(v.len(), theta.len());
+    out.fill(0.0);
+    let inv_n = 1.0 / rows.len() as f64;
+    for &r in rows {
+        let r = r as usize;
+        let z = x.dot_row(r, theta);
+        let p = sigmoid(z);
+        let xv = x.dot_row(r, v);
+        let coef = p * (1.0 - p) * xv * inv_n;
+        x.scatter_add(r, coef, out);
+    }
+    if reg > 0.0 {
+        for (o, &vi) in out.iter_mut().zip(v) {
+            *o += reg * vi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 6 rows, 2 nnz, 4 cols; labels chosen so classes are mixed.
+    fn demo() -> (MultiHotMatrix, Vec<u8>) {
+        let x = MultiHotMatrix::new(vec![0, 1, 1, 2, 2, 3, 0, 3, 0, 2, 1, 3], 2, 4).unwrap();
+        let y = vec![1, 0, 1, 0, 1, 0];
+        (x, y)
+    }
+
+    fn all_rows(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn zero_weights_give_half_probability() {
+        let (x, _) = demo();
+        let model = LrModel::zeros(4);
+        for p in model.predict(&x) {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn loss_at_zero_is_ln2() {
+        let (x, y) = demo();
+        let theta = vec![0.0; 4];
+        let loss = env_loss(&theta, &x, &y, &all_rows(6), 0.0);
+        assert!((loss - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let (x, y) = demo();
+        let theta = vec![0.3, -0.5, 0.2, 0.9];
+        let rows = all_rows(6);
+        for reg in [0.0, 0.7] {
+            let mut grad = vec![0.0; 4];
+            env_grad(&theta, &x, &y, &rows, reg, &mut grad);
+            let eps = 1e-6;
+            for i in 0..4 {
+                let mut plus = theta.clone();
+                plus[i] += eps;
+                let mut minus = theta.clone();
+                minus[i] -= eps;
+                let fd = (env_loss(&plus, &x, &y, &rows, reg)
+                    - env_loss(&minus, &x, &y, &rows, reg))
+                    / (2.0 * eps);
+                assert!(
+                    (grad[i] - fd).abs() < 1e-8,
+                    "grad[{i}] {} vs fd {fd} (reg {reg})",
+                    grad[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hvp_matches_finite_difference_of_grad() {
+        let (x, y) = demo();
+        let theta = vec![0.1, 0.4, -0.6, 0.2];
+        let v = vec![1.0, -0.5, 0.25, 2.0];
+        let rows = all_rows(6);
+        for reg in [0.0, 0.3] {
+            let mut hv = vec![0.0; 4];
+            env_hvp(&theta, &x, &y, &rows, reg, &v, &mut hv);
+            let eps = 1e-6;
+            let plus: Vec<f64> = theta.iter().zip(&v).map(|(t, d)| t + eps * d).collect();
+            let minus: Vec<f64> = theta.iter().zip(&v).map(|(t, d)| t - eps * d).collect();
+            let mut gp = vec![0.0; 4];
+            let mut gm = vec![0.0; 4];
+            env_grad(&plus, &x, &y, &rows, reg, &mut gp);
+            env_grad(&minus, &x, &y, &rows, reg, &mut gm);
+            for i in 0..4 {
+                let fd = (gp[i] - gm[i]) / (2.0 * eps);
+                assert!(
+                    (hv[i] - fd).abs() < 1e-7,
+                    "hvp[{i}] {} vs fd {fd} (reg {reg})",
+                    hv[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_and_hvp_agree_with_autodiff_engine() {
+        // Cross-check the closed-form fast path against the generic tape.
+        use lightmirm_autodiff::{functional::lr_loss, Tape};
+        let (x, y) = demo();
+        let rows = all_rows(6);
+        let theta = vec![0.25, -0.4, 0.15, 0.6];
+        let reg = 0.2;
+        let dense = x.densify();
+        let y_f: Vec<f64> = y.iter().map(|&l| l as f64).collect();
+
+        let mut grad = vec![0.0; 4];
+        env_grad(&theta, &x, &y, &rows, reg, &mut grad);
+        let mut hv = vec![0.0; 4];
+        let v = vec![0.3, 0.3, -1.0, 0.5];
+        env_hvp(&theta, &x, &y, &rows, reg, &v, &mut hv);
+
+        let tape = Tape::new();
+        let th = tape.input(theta.clone());
+        let loss = lr_loss(&tape, &dense, 6, 4, th, &y_f, reg);
+        let g = tape.backward(loss, &[th], true)[0];
+        for (a, b) in grad.iter().zip(g.value()) {
+            assert!((a - b).abs() < 1e-10, "grad {a} vs tape {b}");
+        }
+        let vv = tape.constant(v.clone());
+        let gv = tape.dot(g, vv);
+        let tape_hv = tape.backward(gv, &[th], false)[0].value();
+        for (a, b) in hv.iter().zip(tape_hv) {
+            assert!((a - b).abs() < 1e-10, "hvp {a} vs tape {b}");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_along_negative_gradient() {
+        let (x, y) = demo();
+        let rows = all_rows(6);
+        let theta = vec![0.5, -0.5, 0.5, -0.5];
+        let mut grad = vec![0.0; 4];
+        env_grad(&theta, &x, &y, &rows, 0.0, &mut grad);
+        let stepped: Vec<f64> = theta.iter().zip(&grad).map(|(t, g)| t - 0.1 * g).collect();
+        assert!(env_loss(&stepped, &x, &y, &rows, 0.0) < env_loss(&theta, &x, &y, &rows, 0.0));
+    }
+
+    #[test]
+    fn subset_rows_are_respected() {
+        let (x, y) = demo();
+        let theta = vec![0.3, 0.1, -0.2, 0.4];
+        let full = env_loss(&theta, &x, &y, &all_rows(6), 0.0);
+        let sub = env_loss(&theta, &x, &y, &[0, 1, 2], 0.0);
+        assert!((full - sub).abs() > 1e-6, "subset should change the loss");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty environment")]
+    fn empty_rows_panic() {
+        let (x, y) = demo();
+        let _ = env_loss(&[0.0; 4], &x, &y, &[], 0.0);
+    }
+
+    #[test]
+    fn predict_rows_subset_order() {
+        let (x, _) = demo();
+        let model = LrModel {
+            weights: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let ps = model.predict_rows(&x, &[3, 0]);
+        assert!((ps[0] - sigmoid(5.0)).abs() < 1e-12); // row 3 touches cols 0,3
+        assert!((ps[1] - sigmoid(3.0)).abs() < 1e-12); // row 0 touches cols 0,1
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn instance() -> impl Strategy<Value = (MultiHotMatrix, Vec<u8>, Vec<f64>)> {
+            (2usize..12, 0u64..200).prop_map(|(rows, seed)| {
+                let n_cols = 6;
+                let nnz = 2;
+                let idx: Vec<u32> = (0..rows * nnz)
+                    .map(|i| {
+                        let h = (i as u64 + 1).wrapping_mul(seed + 0x9E3779B9);
+                        (h % n_cols as u64) as u32
+                    })
+                    .collect();
+                let x = MultiHotMatrix::new(idx, nnz, n_cols).unwrap();
+                let y: Vec<u8> = (0..rows).map(|i| ((i as u64 + seed) % 2) as u8).collect();
+                let theta: Vec<f64> = (0..n_cols)
+                    .map(|i| ((i as f64) * 0.31 - 0.8) * ((seed % 5) as f64 * 0.2 + 0.2))
+                    .collect();
+                (x, y, theta)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn gradcheck((x, y, theta) in instance()) {
+                let rows: Vec<u32> = (0..x.n_rows() as u32).collect();
+                let mut grad = vec![0.0; theta.len()];
+                env_grad(&theta, &x, &y, &rows, 0.1, &mut grad);
+                let eps = 1e-6;
+                for i in 0..theta.len() {
+                    let mut p = theta.clone();
+                    p[i] += eps;
+                    let mut m = theta.clone();
+                    m[i] -= eps;
+                    let fd = (env_loss(&p, &x, &y, &rows, 0.1)
+                        - env_loss(&m, &x, &y, &rows, 0.1)) / (2.0 * eps);
+                    prop_assert!((grad[i] - fd).abs() < 1e-7);
+                }
+            }
+
+            #[test]
+            fn loss_is_nonnegative_without_reg((x, y, theta) in instance()) {
+                let rows: Vec<u32> = (0..x.n_rows() as u32).collect();
+                prop_assert!(env_loss(&theta, &x, &y, &rows, 0.0) >= 0.0);
+            }
+
+            #[test]
+            fn hessian_is_positive_semidefinite((x, y, theta) in instance()) {
+                // vᵀHv >= 0 for the logloss Hessian.
+                let rows: Vec<u32> = (0..x.n_rows() as u32).collect();
+                let v: Vec<f64> = (0..theta.len()).map(|i| (i as f64) - 2.0).collect();
+                let mut hv = vec![0.0; theta.len()];
+                env_hvp(&theta, &x, &y, &rows, 0.0, &v, &mut hv);
+                let vhv: f64 = v.iter().zip(&hv).map(|(a, b)| a * b).sum();
+                prop_assert!(vhv >= -1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The Meta-loss Replaying Queue (MRQ) — the paper's Eq. (8)–(9).
+//!
+//! A fixed-length FIFO per environment that stores the meta-losses of the
+//! environments sampled in previous iterations. The approximate meta-loss
+//! recombines the stored losses with geometric decay γ so recent losses
+//! count more; gradients flow only through the newest entry.
+
+/// One environment's replay queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaReplayQueue {
+    /// `entries[0]` is the oldest slot, `entries[L-1]` the newest. Slots
+    /// are zero-initialized, matching Algorithm 2 line 1.
+    entries: Vec<f64>,
+    /// How many slots currently hold a real (pushed) loss.
+    filled: usize,
+}
+
+impl MetaReplayQueue {
+    /// A zeroed queue of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len >= 1, "MRQ length must be positive");
+        MetaReplayQueue {
+            entries: vec![0.0; len],
+            filled: 0,
+        }
+    }
+
+    /// Queue capacity `L`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Number of slots holding real losses.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Push the newest sampled loss, shifting everything forward
+    /// (Eq. (8)): `H_m^i ← H_m^{i+1}` then `H_m^L ← loss`.
+    pub fn push(&mut self, loss: f64) {
+        self.entries.rotate_left(1);
+        *self.entries.last_mut().expect("len >= 1") = loss;
+        self.filled = (self.filled + 1).min(self.entries.len());
+    }
+
+    /// The paper's replayed meta-loss (Eq. (9)): `Σᵢ γ^{L−i} · H_m^i`,
+    /// summed over the whole queue including still-zero slots (exactly
+    /// Algorithm 2: slots are initialized to zero and contribute nothing).
+    pub fn replayed_sum(&self, gamma: f64) -> f64 {
+        let l = self.entries.len();
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| gamma.powi((l - 1 - i) as i32) * h)
+            .sum()
+    }
+
+    /// Decay-normalized replayed loss: the weighted *mean* over the slots
+    /// that hold real losses, `Σ γ^{L−i} Hᵢ / Σ γ^{L−i}`.
+    ///
+    /// This variant keeps the meta-loss on the same scale regardless of
+    /// queue fill and length, which lets one outer learning rate serve
+    /// every configuration (see DESIGN.md §5); experiments use it, while
+    /// [`MetaReplayQueue::replayed_sum`] is the verbatim Eq. (9).
+    pub fn replayed_mean(&self, gamma: f64) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        let l = self.entries.len();
+        let start = l - self.filled;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &h) in self.entries.iter().enumerate().skip(start) {
+            let w = gamma.powi((l - 1 - i) as i32);
+            num += w * h;
+            den += w;
+        }
+        num / den
+    }
+
+    /// Weight of the newest entry inside [`MetaReplayQueue::replayed_mean`]
+    /// — the only term gradients flow through (γ⁰ / Σ γ^{L−i}).
+    pub fn newest_weight(&self, gamma: f64) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        let l = self.entries.len();
+        let start = l - self.filled;
+        let den: f64 = (start..l).map(|i| gamma.powi((l - 1 - i) as i32)).sum();
+        1.0 / den
+    }
+
+    /// The newest stored loss (0.0 before any push).
+    pub fn newest(&self) -> f64 {
+        *self.entries.last().expect("len >= 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_fifo() {
+        let mut q = MetaReplayQueue::new(3);
+        q.push(1.0);
+        q.push(2.0);
+        q.push(3.0);
+        q.push(4.0);
+        assert_eq!(q.entries, vec![2.0, 3.0, 4.0]);
+        assert_eq!(q.newest(), 4.0);
+        assert_eq!(q.filled(), 3);
+    }
+
+    #[test]
+    fn zero_initialized_slots_contribute_nothing_to_sum() {
+        let mut q = MetaReplayQueue::new(4);
+        q.push(2.0);
+        // Only the newest slot is nonzero: weight γ⁰ = 1.
+        assert!((q.replayed_sum(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replayed_sum_matches_eq9() {
+        let mut q = MetaReplayQueue::new(3);
+        q.push(1.0);
+        q.push(2.0);
+        q.push(3.0);
+        let gamma: f64 = 0.9;
+        let expect = gamma.powi(2) * 1.0 + gamma.powi(1) * 2.0 + 3.0;
+        assert!((q.replayed_sum(gamma) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replayed_mean_is_weighted_average() {
+        let mut q = MetaReplayQueue::new(3);
+        q.push(1.0);
+        q.push(2.0);
+        let gamma: f64 = 0.5;
+        // Filled slots: weights γ¹ for 1.0, γ⁰ for 2.0.
+        let expect = (0.5 * 1.0 + 1.0 * 2.0) / 1.5;
+        assert!((q.replayed_mean(gamma) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replayed_mean_of_constant_is_constant() {
+        let mut q = MetaReplayQueue::new(5);
+        for _ in 0..7 {
+            q.push(3.25);
+        }
+        for gamma in [0.1, 0.5, 0.9, 1.0] {
+            assert!((q.replayed_mean(gamma) - 3.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_one_is_uniform_mean() {
+        let mut q = MetaReplayQueue::new(3);
+        q.push(1.0);
+        q.push(2.0);
+        q.push(6.0);
+        assert!((q.replayed_mean(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_gamma_emphasizes_newest() {
+        let mut q = MetaReplayQueue::new(3);
+        q.push(100.0);
+        q.push(100.0);
+        q.push(1.0);
+        // γ→0 forgets history.
+        assert!((q.replayed_mean(1e-9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn newest_weight_sums_against_history() {
+        let mut q = MetaReplayQueue::new(4);
+        q.push(1.0);
+        assert!((q.newest_weight(0.9) - 1.0).abs() < 1e-12);
+        q.push(1.0);
+        let expect = 1.0 / (1.0 + 0.9);
+        assert!((q.newest_weight(0.9) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_one_degrades_to_plain_sampling() {
+        // Paper §IV-E1: MRQ of length 1 is meta-IRM sampling one province.
+        let mut q = MetaReplayQueue::new(1);
+        q.push(5.0);
+        assert_eq!(q.replayed_mean(0.9), 5.0);
+        assert_eq!(q.replayed_sum(0.9), 5.0);
+        q.push(7.0);
+        assert_eq!(q.replayed_mean(0.9), 7.0);
+    }
+
+    #[test]
+    fn empty_queue_reports_zero() {
+        let q = MetaReplayQueue::new(3);
+        assert!(q.is_empty());
+        assert_eq!(q.replayed_mean(0.9), 0.0);
+        assert_eq!(q.newest_weight(0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let _ = MetaReplayQueue::new(0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mean_is_bounded_by_extremes(
+                losses in proptest::collection::vec(0.0f64..10.0, 1..12),
+                len in 1usize..6,
+                gamma in 0.05f64..1.0,
+            ) {
+                let mut q = MetaReplayQueue::new(len);
+                for &l in &losses {
+                    q.push(l);
+                }
+                let k = losses.len().min(len);
+                let window = &losses[losses.len() - k..];
+                let lo = window.iter().cloned().fold(f64::MAX, f64::min);
+                let hi = window.iter().cloned().fold(f64::MIN, f64::max);
+                let m = q.replayed_mean(gamma);
+                prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+            }
+
+            #[test]
+            fn filled_never_exceeds_len(
+                pushes in 0usize..20,
+                len in 1usize..6,
+            ) {
+                let mut q = MetaReplayQueue::new(len);
+                for i in 0..pushes {
+                    q.push(i as f64);
+                }
+                prop_assert_eq!(q.filled(), pushes.min(len));
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Online replay simulation — the paper's online comparison (§IV-C1,
+//! Fig. 5).
+//!
+//! The deployment pattern at the platform is a *companion runner*: the
+//! incumbent model keeps deciding as before, and the new model can
+//! additionally reject applications the incumbent approved. We replay a
+//! held-out stream through that decision rule and sweep the companion's
+//! rejection threshold, reporting the false-positive rate (good loans
+//! refused) against the residual bad-debt rate among approvals — the two
+//! axes of Fig. 5.
+
+use lightmirm_metrics::MetricError;
+
+/// One point of the online trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct OnlinePoint {
+    /// Companion rejection threshold τ.
+    pub threshold: f64,
+    /// Fraction of good (non-defaulting) applicants newly rejected by the
+    /// companion among the incumbent's approvals.
+    pub false_positive_rate: f64,
+    /// Default rate among the loans still approved (the bad-debt rate).
+    pub bad_debt_rate: f64,
+    /// Fraction of incumbent approvals the companion vetoes.
+    pub veto_rate: f64,
+}
+
+/// Result of an online replay.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct OnlineReplay {
+    /// Bad-debt rate of the incumbent alone (the paper's 2.09 %).
+    pub incumbent_bad_debt: f64,
+    /// Trade-off curve over the swept thresholds.
+    pub curve: Vec<OnlinePoint>,
+}
+
+/// Replay a stream through "incumbent approves, companion may veto".
+///
+/// `incumbent_scores` and `companion_scores` are default probabilities for
+/// the same rows; `incumbent_threshold` fixes the incumbent's rejection
+/// rule; `thresholds` is the sweep grid for the companion.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] on mismatched/empty inputs.
+pub fn replay(
+    incumbent_scores: &[f64],
+    companion_scores: &[f64],
+    labels: &[u8],
+    incumbent_threshold: f64,
+    thresholds: &[f64],
+) -> Result<OnlineReplay, MetricError> {
+    if incumbent_scores.len() != labels.len() || companion_scores.len() != labels.len() {
+        return Err(MetricError::LengthMismatch {
+            scores: incumbent_scores.len().min(companion_scores.len()),
+            labels: labels.len(),
+        });
+    }
+    if labels.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if let Some(index) = incumbent_scores
+        .iter()
+        .chain(companion_scores)
+        .position(|s| s.is_nan())
+    {
+        return Err(MetricError::NanScore { index });
+    }
+
+    // The incumbent's approvals are the population the companion acts on.
+    let approved: Vec<usize> = (0..labels.len())
+        .filter(|&i| incumbent_scores[i] < incumbent_threshold)
+        .collect();
+    if approved.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    let inc_bad = approved.iter().filter(|&&i| labels[i] != 0).count() as f64;
+    let incumbent_bad_debt = inc_bad / approved.len() as f64;
+
+    let n_good = approved.iter().filter(|&&i| labels[i] == 0).count() as f64;
+    let mut curve = Vec::with_capacity(thresholds.len());
+    for &tau in thresholds {
+        let mut vetoed = 0.0f64;
+        let mut vetoed_good = 0.0f64;
+        let mut kept = 0.0f64;
+        let mut kept_bad = 0.0f64;
+        for &i in &approved {
+            if companion_scores[i] >= tau {
+                vetoed += 1.0;
+                if labels[i] == 0 {
+                    vetoed_good += 1.0;
+                }
+            } else {
+                kept += 1.0;
+                if labels[i] != 0 {
+                    kept_bad += 1.0;
+                }
+            }
+        }
+        curve.push(OnlinePoint {
+            threshold: tau,
+            false_positive_rate: if n_good > 0.0 {
+                vetoed_good / n_good
+            } else {
+                0.0
+            },
+            bad_debt_rate: if kept > 0.0 { kept_bad / kept } else { 0.0 },
+            veto_rate: vetoed / approved.len() as f64,
+        });
+    }
+    Ok(OnlineReplay {
+        incumbent_bad_debt,
+        curve,
+    })
+}
+
+/// Economic parameters of an approval decision.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ProfitModel {
+    /// Net margin earned on a loan that repays (as a fraction of
+    /// principal, e.g. `0.06`).
+    pub margin: f64,
+    /// Loss given default (fraction of principal lost, e.g. `0.55`).
+    pub loss_given_default: f64,
+}
+
+impl ProfitModel {
+    /// Expected profit per approved unit of principal at default
+    /// probability `p`: `(1 − p)·margin − p·LGD`.
+    pub fn expected_profit(&self, p: f64) -> f64 {
+        (1.0 - p) * self.margin - p * self.loss_given_default
+    }
+
+    /// The break-even default probability `margin / (margin + LGD)`:
+    /// approving above it loses money in expectation.
+    pub fn break_even_probability(&self) -> f64 {
+        self.margin / (self.margin + self.loss_given_default)
+    }
+}
+
+/// Realized portfolio profit of the rule "approve when `score < tau`",
+/// per unit of total application volume.
+pub fn realized_profit(scores: &[f64], labels: &[u8], tau: f64, economics: &ProfitModel) -> f64 {
+    let mut profit = 0.0;
+    for (&s, &y) in scores.iter().zip(labels) {
+        if s < tau {
+            profit += if y != 0 {
+                -economics.loss_given_default
+            } else {
+                economics.margin
+            };
+        }
+    }
+    profit / scores.len().max(1) as f64
+}
+
+/// Sweep thresholds and return `(best_tau, best_profit)` under the
+/// economics — the quantitative version of the paper's "domain experts
+/// find a trade-off between the two indicators".
+///
+/// # Panics
+///
+/// Panics on an empty grid.
+pub fn best_threshold(
+    scores: &[f64],
+    labels: &[u8],
+    grid: &[f64],
+    economics: &ProfitModel,
+) -> (f64, f64) {
+    assert!(!grid.is_empty(), "empty threshold grid");
+    grid.iter()
+        .map(|&tau| (tau, realized_profit(scores, labels, tau, economics)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("profits are finite"))
+        .expect("nonempty grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Incumbent approves everyone (scores 0); companion is a perfect
+    /// ranker.
+    fn perfect_companion() -> (Vec<f64>, Vec<f64>, Vec<u8>) {
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let incumbent = vec![0.0; 10];
+        let companion: Vec<f64> = labels.iter().map(|&y| 0.2 + 0.6 * y as f64).collect();
+        (incumbent, companion, labels)
+    }
+
+    #[test]
+    fn incumbent_bad_debt_is_base_rate_when_it_approves_all() {
+        let (inc, comp, y) = perfect_companion();
+        let out = replay(&inc, &comp, &y, 0.5, &[0.5]).unwrap();
+        assert!((out.incumbent_bad_debt - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_companion_zeroes_bad_debt_without_fp() {
+        let (inc, comp, y) = perfect_companion();
+        let out = replay(&inc, &comp, &y, 0.5, &[0.5]).unwrap();
+        let p = out.curve[0];
+        assert_eq!(p.bad_debt_rate, 0.0);
+        assert_eq!(p.false_positive_rate, 0.0);
+        assert!((p.veto_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loose_threshold_keeps_everything() {
+        let (inc, comp, y) = perfect_companion();
+        let out = replay(&inc, &comp, &y, 0.5, &[1.1]).unwrap();
+        let p = out.curve[0];
+        assert!((p.bad_debt_rate - 0.2).abs() < 1e-12);
+        assert_eq!(p.veto_rate, 0.0);
+    }
+
+    #[test]
+    fn tight_threshold_vetoes_everything() {
+        let (inc, comp, y) = perfect_companion();
+        let out = replay(&inc, &comp, &y, 0.5, &[0.0]).unwrap();
+        let p = out.curve[0];
+        assert_eq!(p.veto_rate, 1.0);
+        assert_eq!(p.bad_debt_rate, 0.0);
+        assert_eq!(p.false_positive_rate, 1.0);
+    }
+
+    #[test]
+    fn companion_only_acts_on_incumbent_approvals() {
+        // Incumbent rejects the two worst applicants itself; companion
+        // metrics are computed on the remaining 8.
+        let labels = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1];
+        let incumbent: Vec<f64> = (0..10).map(|i| if i >= 8 { 0.9 } else { 0.1 }).collect();
+        let companion: Vec<f64> = labels.iter().map(|&y| 0.3 + 0.4 * y as f64).collect();
+        let out = replay(&incumbent, &companion, &labels, 0.5, &[0.5]).unwrap();
+        // Approvals: rows 0..8 (6 good, 2 bad): incumbent bad debt 0.25.
+        assert!((out.incumbent_bad_debt - 0.25).abs() < 1e-12);
+        let p = out.curve[0];
+        assert_eq!(p.bad_debt_rate, 0.0); // companion vetoes rows 6, 7
+        assert!((p.veto_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_fpr_monotone_in_threshold() {
+        let (inc, comp, y) = perfect_companion();
+        let grid: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let out = replay(&inc, &comp, &y, 0.5, &grid).unwrap();
+        for w in out.curve.windows(2) {
+            assert!(w[1].false_positive_rate <= w[0].false_positive_rate + 1e-12);
+        }
+    }
+
+    #[test]
+    fn break_even_matches_formula() {
+        let econ = ProfitModel {
+            margin: 0.06,
+            loss_given_default: 0.54,
+        };
+        assert!((econ.break_even_probability() - 0.1).abs() < 1e-12);
+        assert!(econ.expected_profit(0.1).abs() < 1e-12);
+        assert!(econ.expected_profit(0.05) > 0.0);
+        assert!(econ.expected_profit(0.2) < 0.0);
+    }
+
+    #[test]
+    fn realized_profit_counts_only_approvals() {
+        let econ = ProfitModel {
+            margin: 0.1,
+            loss_given_default: 0.5,
+        };
+        let scores = [0.1, 0.9, 0.2, 0.8];
+        let labels = [0, 1, 1, 0];
+        // tau = 0.5 approves rows 0 (good) and 2 (bad).
+        let p = realized_profit(&scores, &labels, 0.5, &econ);
+        assert!((p - (0.1 - 0.5) / 4.0).abs() < 1e-12);
+        // tau = 0 approves nothing.
+        assert_eq!(realized_profit(&scores, &labels, 0.0, &econ), 0.0);
+    }
+
+    #[test]
+    fn best_threshold_prefers_profitable_books() {
+        let econ = ProfitModel {
+            margin: 0.1,
+            loss_given_default: 0.5,
+        };
+        // A perfect ranker: defaults all score above 0.5.
+        let scores = [0.1, 0.2, 0.3, 0.4, 0.9, 0.95];
+        let labels = [0, 0, 0, 0, 1, 1];
+        let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+        let (tau, profit) = best_threshold(&scores, &labels, &grid, &econ);
+        // Optimal: approve the four goods, reject both defaulters.
+        assert!((0.45..=0.9).contains(&tau), "tau {tau}");
+        assert!((profit - 4.0 * 0.1 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        assert!(replay(&[], &[], &[], 0.5, &[0.5]).is_err());
+        assert!(replay(&[0.1], &[0.1], &[1, 0], 0.5, &[0.5]).is_err());
+        // Incumbent rejects everyone: no approval population.
+        assert!(replay(&[0.9, 0.9], &[0.1, 0.1], &[0, 1], 0.5, &[0.5]).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! The multi-hot design matrix produced by the GBDT+LR transform.
+//!
+//! Every row has exactly `nnz_per_row` active columns (one leaf per tree),
+//! all with implicit value 1.0. Storing only the active column indices
+//! makes the logistic-regression forward/backward passes `O(rows × trees)`
+//! instead of `O(rows × total_leaves)`.
+
+/// A binary matrix with a fixed number of ones per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiHotMatrix {
+    n_cols: usize,
+    nnz_per_row: usize,
+    /// Row-major active indices: row `i` owns
+    /// `indices[i*nnz_per_row..(i+1)*nnz_per_row]`.
+    indices: Vec<u32>,
+}
+
+/// Errors from matrix construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// `indices.len()` is not a multiple of `nnz_per_row`.
+    RaggedRows { len: usize, nnz_per_row: usize },
+    /// An index is out of the column range.
+    IndexOutOfRange { index: u32, n_cols: usize },
+    /// `nnz_per_row` was zero.
+    EmptyRows,
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::RaggedRows { len, nnz_per_row } => {
+                write!(
+                    f,
+                    "{len} indices is not a multiple of {nnz_per_row} per row"
+                )
+            }
+            SparseError::IndexOutOfRange { index, n_cols } => {
+                write!(f, "column index {index} out of range {n_cols}")
+            }
+            SparseError::EmptyRows => write!(f, "nnz_per_row must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl MultiHotMatrix {
+    /// Wrap flat row-major indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] on ragged input or out-of-range indices.
+    pub fn new(indices: Vec<u32>, nnz_per_row: usize, n_cols: usize) -> Result<Self, SparseError> {
+        if nnz_per_row == 0 {
+            return Err(SparseError::EmptyRows);
+        }
+        if !indices.len().is_multiple_of(nnz_per_row) {
+            return Err(SparseError::RaggedRows {
+                len: indices.len(),
+                nnz_per_row,
+            });
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i as usize >= n_cols) {
+            return Err(SparseError::IndexOutOfRange { index: bad, n_cols });
+        }
+        Ok(MultiHotMatrix {
+            n_cols,
+            nnz_per_row,
+            indices,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.indices.len() / self.nnz_per_row
+    }
+
+    /// Number of columns (the LR parameter dimension `N`).
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Active positions per row (the number of GBDT trees).
+    pub fn nnz_per_row(&self) -> usize {
+        self.nnz_per_row
+    }
+
+    /// Active column indices of one row.
+    pub fn row(&self, row: usize) -> &[u32] {
+        &self.indices[row * self.nnz_per_row..(row + 1) * self.nnz_per_row]
+    }
+
+    /// `θᵀx` for a multi-hot row: the sum of the touched weights.
+    pub fn dot_row(&self, row: usize, weights: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), self.n_cols);
+        self.row(row).iter().map(|&i| weights[i as usize]).sum()
+    }
+
+    /// Scatter-add `coef` into the touched weights of a row
+    /// (`out += coef · x_row`).
+    pub fn scatter_add(&self, row: usize, coef: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n_cols);
+        for &i in self.row(row) {
+            out[i as usize] += coef;
+        }
+    }
+
+    /// Densify one row (testing / interop).
+    pub fn densify_row(&self, row: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_cols];
+        for &i in self.row(row) {
+            out[i as usize] += 1.0;
+        }
+        out
+    }
+
+    /// Densify the whole matrix, row-major (testing / interop).
+    pub fn densify(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_rows() * self.n_cols);
+        for r in 0..self.n_rows() {
+            out.extend_from_slice(&self.densify_row(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> MultiHotMatrix {
+        // 3 rows, 2 active per row, 5 columns.
+        MultiHotMatrix::new(vec![0, 2, 1, 3, 2, 4], 2, 5).unwrap()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let m = demo();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 5);
+        assert_eq!(m.nnz_per_row(), 2);
+        assert_eq!(m.row(1), &[1, 3]);
+    }
+
+    #[test]
+    fn dot_row_sums_touched_weights() {
+        let m = demo();
+        let w = [1.0, 10.0, 100.0, 1000.0, 10000.0];
+        assert_eq!(m.dot_row(0, &w), 101.0);
+        assert_eq!(m.dot_row(1, &w), 1010.0);
+        assert_eq!(m.dot_row(2, &w), 10100.0);
+    }
+
+    #[test]
+    fn scatter_add_accumulates() {
+        let m = demo();
+        let mut out = vec![0.0; 5];
+        m.scatter_add(0, 2.0, &mut out);
+        m.scatter_add(1, -1.0, &mut out);
+        assert_eq!(out, vec![2.0, -1.0, 2.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn densify_matches_sparse_ops() {
+        let m = demo();
+        let dense = m.densify();
+        let w = [0.5, -1.0, 2.0, 0.0, 3.0];
+        for r in 0..3 {
+            let direct = m.dot_row(r, &w);
+            let via_dense: f64 = dense[r * 5..(r + 1) * 5]
+                .iter()
+                .zip(&w)
+                .map(|(&x, &wi)| x * wi)
+                .sum();
+            assert!((direct - via_dense).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        assert_eq!(
+            MultiHotMatrix::new(vec![0, 1, 2], 2, 5).unwrap_err(),
+            SparseError::RaggedRows {
+                len: 3,
+                nnz_per_row: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            MultiHotMatrix::new(vec![0, 9], 2, 5).unwrap_err(),
+            SparseError::IndexOutOfRange {
+                index: 9,
+                n_cols: 5
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_nnz() {
+        assert_eq!(
+            MultiHotMatrix::new(vec![], 0, 5).unwrap_err(),
+            SparseError::EmptyRows
+        );
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = MultiHotMatrix::new(vec![], 3, 10).unwrap();
+        assert_eq!(m.n_rows(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn dense_and_sparse_dot_agree(
+                rows in 1usize..10,
+                nnz in 1usize..5,
+                seed in 0u64..500,
+            ) {
+                let n_cols = 12;
+                let indices: Vec<u32> = (0..rows * nnz)
+                    .map(|i| {
+                        let h = (i as u64 + 1).wrapping_mul(seed.wrapping_add(0x9E3779B9));
+                        (h % n_cols as u64) as u32
+                    })
+                    .collect();
+                let m = MultiHotMatrix::new(indices, nnz, n_cols).unwrap();
+                let w: Vec<f64> = (0..n_cols).map(|i| (i as f64) * 0.37 - 1.1).collect();
+                let dense = m.densify();
+                for r in 0..rows {
+                    let direct = m.dot_row(r, &w);
+                    let via: f64 = dense[r * n_cols..(r + 1) * n_cols]
+                        .iter().zip(&w).map(|(&x, &wi)| x * wi).sum();
+                    prop_assert!((direct - via).abs() < 1e-10);
+                }
+            }
+        }
+    }
+}

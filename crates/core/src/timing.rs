@@ -1,0 +1,230 @@
+//! Step-level timing and operation accounting.
+//!
+//! Table III of the paper breaks one training epoch into five steps —
+//! loading data, transforming the format, inner optimization, calculating
+//! the meta-losses, backward propagation — and §III-F counts "atomic
+//! env-loss operations" (one forward or backward pass over one
+//! environment). [`StepTimer`] reproduces the former, [`OpCounter`] the
+//! latter; the complexity claims (O(2M²) vs O(4M)) are asserted on
+//! [`OpCounter`] in tests so they hold exactly, not just in wall-clock.
+
+use std::time::{Duration, Instant};
+
+/// The five steps of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum Step {
+    /// Loading the (already materialized) environment batches.
+    LoadData,
+    /// Transforming raw features into the multi-hot format.
+    TransformFormat,
+    /// Inner-loop optimization (per-env loss + gradient + step).
+    InnerOptimization,
+    /// Calculating the meta-losses.
+    MetaLoss,
+    /// The outer backward propagation and parameter update.
+    Backward,
+}
+
+impl Step {
+    /// All steps in Table III order.
+    pub const ALL: [Step; 5] = [
+        Step::LoadData,
+        Step::TransformFormat,
+        Step::InnerOptimization,
+        Step::MetaLoss,
+        Step::Backward,
+    ];
+
+    /// Table III row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Step::LoadData => "loading data",
+            Step::TransformFormat => "transforming the format",
+            Step::InnerOptimization => "inner optimization",
+            Step::MetaLoss => "calculating the meta-losses",
+            Step::Backward => "backward propagation",
+        }
+    }
+}
+
+/// Accumulates wall-clock time per step.
+#[derive(Debug, Clone, Default)]
+pub struct StepTimer {
+    totals: [Duration; 5],
+    epoch_total: Duration,
+}
+
+impl StepTimer {
+    /// Fresh timer with all steps at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure and charge it to `step`.
+    pub fn time<T>(&mut self, step: Step, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed();
+        self.totals[step_index(step)] += dt;
+        self.epoch_total += dt;
+        out
+    }
+
+    /// Total time charged to a step.
+    pub fn total(&self, step: Step) -> Duration {
+        self.totals[step_index(step)]
+    }
+
+    /// Sum of all charged time (the "whole epoch" row).
+    pub fn epoch_total(&self) -> Duration {
+        self.epoch_total
+    }
+
+    /// Fraction of total time per step (paper Fig. 7). Returns zeros when
+    /// nothing was timed.
+    pub fn proportions(&self) -> [f64; 5] {
+        let total = self.epoch_total.as_secs_f64();
+        let mut out = [0.0; 5];
+        if total > 0.0 {
+            for (o, d) in out.iter_mut().zip(&self.totals) {
+                *o = d.as_secs_f64() / total;
+            }
+        }
+        out
+    }
+
+    /// Merge another timer's accumulations into this one.
+    pub fn merge(&mut self, other: &StepTimer) {
+        for (a, b) in self.totals.iter_mut().zip(&other.totals) {
+            *a += *b;
+        }
+        self.epoch_total += other.epoch_total;
+    }
+}
+
+fn step_index(step: Step) -> usize {
+    Step::ALL
+        .iter()
+        .position(|&s| s == step)
+        .expect("step in ALL")
+}
+
+/// Counts atomic env-loss operations exactly as the paper's §III-F does:
+/// one unit per forward (loss) or backward (gradient) pass over one
+/// environment. The paper's per-iteration totals — `2M²` for meta-IRM,
+/// `4M` for LightMIRM — are `forward + backward` here; Hessian-vector
+/// products (the second-order cost the paper mentions but leaves out of
+/// its operation count) are tracked separately in `hvp`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct OpCounter {
+    /// Forward passes (env losses).
+    pub forward: u64,
+    /// Backward passes (env gradients).
+    pub backward: u64,
+    /// Hessian-vector products (second-order backward passes).
+    pub hvp: u64,
+}
+
+impl OpCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` forward passes.
+    pub fn add_forward(&mut self, n: u64) {
+        self.forward += n;
+    }
+
+    /// Record `n` backward passes.
+    pub fn add_backward(&mut self, n: u64) {
+        self.backward += n;
+    }
+
+    /// Record `n` Hessian-vector products.
+    pub fn add_hvp(&mut self, n: u64) {
+        self.hvp += n;
+    }
+
+    /// First-order atomic operations — the quantity §III-F counts.
+    pub fn total(&self) -> u64 {
+        self.forward + self.backward
+    }
+
+    /// Everything, including second-order passes.
+    pub fn total_with_hvp(&self) -> u64 {
+        self.total() + self.hvp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_accumulates_per_step() {
+        let mut t = StepTimer::new();
+        let v = t.time(Step::MetaLoss, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        t.time(Step::InnerOptimization, || {
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert!(t.total(Step::MetaLoss) >= Duration::from_millis(5));
+        assert!(t.total(Step::LoadData).is_zero());
+        assert!(t.epoch_total() >= t.total(Step::MetaLoss));
+    }
+
+    #[test]
+    fn proportions_sum_to_one_when_timed() {
+        let mut t = StepTimer::new();
+        t.time(Step::LoadData, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        t.time(Step::Backward, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        let p = t.proportions();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportions_zero_when_untimed() {
+        let t = StepTimer::new();
+        assert_eq!(t.proportions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn merge_adds_totals() {
+        let mut a = StepTimer::new();
+        a.time(Step::MetaLoss, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        let mut b = StepTimer::new();
+        b.time(Step::MetaLoss, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        let before = a.total(Step::MetaLoss);
+        a.merge(&b);
+        assert!(a.total(Step::MetaLoss) > before);
+    }
+
+    #[test]
+    fn op_counter_totals() {
+        let mut c = OpCounter::new();
+        c.add_forward(3);
+        c.add_backward(2);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.forward, 3);
+        assert_eq!(c.backward, 2);
+    }
+
+    #[test]
+    fn step_labels_match_table_iii() {
+        assert_eq!(Step::MetaLoss.label(), "calculating the meta-losses");
+        assert_eq!(Step::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,388 @@
+//! ERM, ERM + per-province fine-tuning, and environment up-sampling.
+
+use crate::env::EnvDataset;
+use crate::lr::{env_grad, LrModel};
+use crate::timing::{OpCounter, Step, StepTimer};
+use crate::trainers::{
+    active_envs_checked, axpy_neg, EpochObserver, TrainConfig, TrainOutput, TrainedModel,
+};
+
+/// Plain Empirical Risk Minimization on the pooled binary cross entropy
+/// (the paper's primary baseline): full-batch gradient descent by
+/// default, mini-batch SGD when a batch size is set (paper footnote 6).
+#[derive(Debug, Clone)]
+pub struct ErmTrainer {
+    pub config: TrainConfig,
+    /// Mini-batch size; `None` = full batch.
+    pub batch_size: Option<usize>,
+}
+
+impl ErmTrainer {
+    /// Build with the given config (full-batch).
+    pub fn new(config: TrainConfig) -> Self {
+        ErmTrainer {
+            config,
+            batch_size: None,
+        }
+    }
+
+    /// Build a mini-batch SGD variant.
+    pub fn with_batch_size(config: TrainConfig, batch_size: usize) -> Self {
+        ErmTrainer {
+            config,
+            batch_size: Some(batch_size),
+        }
+    }
+
+    /// Train on the pooled data, ignoring environments.
+    pub fn fit(&self, data: &EnvDataset, mut observer: Option<EpochObserver<'_>>) -> TrainOutput {
+        let mut timer = StepTimer::new();
+        let mut ops = OpCounter::new();
+        let rows = timer.time(Step::LoadData, || data.all_rows());
+        let batcher = self
+            .batch_size
+            .map(|b| crate::batch::Batcher::new(&rows, b, self.config.seed));
+        let mut model = LrModel::zeros(data.n_cols());
+        let mut grad = vec![0.0; data.n_cols()];
+        let mut momentum = crate::trainers::Momentum::new(data.n_cols(), self.config.momentum);
+        for epoch in 0..self.config.epochs {
+            match &batcher {
+                None => {
+                    timer.time(Step::Backward, || {
+                        env_grad(
+                            &model.weights,
+                            &data.x,
+                            &data.labels,
+                            &rows,
+                            self.config.reg,
+                            &mut grad,
+                        );
+                    });
+                    ops.add_forward(1);
+                    ops.add_backward(1);
+                    momentum.step(&mut model.weights, self.config.outer_lr, &grad);
+                }
+                Some(batcher) => {
+                    for batch in batcher.epoch(epoch) {
+                        timer.time(Step::Backward, || {
+                            env_grad(
+                                &model.weights,
+                                &data.x,
+                                &data.labels,
+                                &batch,
+                                self.config.reg,
+                                &mut grad,
+                            );
+                        });
+                        ops.add_forward(1);
+                        ops.add_backward(1);
+                        momentum.step(&mut model.weights, self.config.outer_lr, &grad);
+                    }
+                }
+            }
+            if let Some(obs) = observer.as_mut() {
+                obs(epoch, &model);
+            }
+        }
+        TrainOutput {
+            model: TrainedModel::Global(model),
+            timer,
+            ops,
+            epochs_run: self.config.epochs,
+        }
+    }
+}
+
+/// ERM followed by per-province fine-tuning: each environment gets extra
+/// gradient steps on its own data only, and is evaluated with its own copy
+/// (paper §IV-A1, "ERM + fine-tuning").
+#[derive(Debug, Clone)]
+pub struct FineTuneTrainer {
+    pub config: TrainConfig,
+    /// Extra epochs of per-environment fine-tuning.
+    pub finetune_epochs: usize,
+    /// Learning rate for the fine-tuning phase (usually smaller than the
+    /// main rate — fine-tuning on a small province easily overfits, the
+    /// instability the paper observes).
+    pub finetune_lr: f64,
+}
+
+impl FineTuneTrainer {
+    /// Build with the given config and fine-tuning schedule.
+    pub fn new(config: TrainConfig, finetune_epochs: usize, finetune_lr: f64) -> Self {
+        FineTuneTrainer {
+            config,
+            finetune_epochs,
+            finetune_lr,
+        }
+    }
+
+    /// Train the base ERM model, then fine-tune one copy per environment.
+    pub fn fit(&self, data: &EnvDataset, observer: Option<EpochObserver<'_>>) -> TrainOutput {
+        let base_out = ErmTrainer::new(self.config.clone()).fit(data, observer);
+        let base = base_out.model.global().clone();
+        let mut timer = base_out.timer;
+        let mut ops = base_out.ops;
+
+        let mut per_env: Vec<Option<LrModel>> = vec![None; data.n_envs()];
+        let mut grad = vec![0.0; data.n_cols()];
+        for m in active_envs_checked(data) {
+            let rows = data.env_rows(m);
+            // A province whose training slice is single-class cannot be
+            // fine-tuned meaningfully; keep the base model for it.
+            let pos = rows
+                .iter()
+                .filter(|&&r| data.labels[r as usize] != 0)
+                .count();
+            if pos == 0 || pos == rows.len() {
+                continue;
+            }
+            let mut model = base.clone();
+            for _ in 0..self.finetune_epochs {
+                timer.time(Step::Backward, || {
+                    env_grad(
+                        &model.weights,
+                        &data.x,
+                        &data.labels,
+                        rows,
+                        self.config.reg,
+                        &mut grad,
+                    );
+                });
+                ops.add_forward(1);
+                ops.add_backward(1);
+                axpy_neg(&mut model.weights, self.finetune_lr, &grad);
+            }
+            per_env[m] = Some(model);
+        }
+        TrainOutput {
+            model: TrainedModel::PerEnv { base, per_env },
+            timer,
+            ops,
+            epochs_run: base_out.epochs_run + self.finetune_epochs,
+        }
+    }
+}
+
+/// Environment up-sampling: each environment contributes equally to the
+/// loss regardless of size, i.e. the objective is the mean of the
+/// per-environment risks (equivalent to up-sampling small provinces).
+#[derive(Debug, Clone)]
+pub struct UpSamplingTrainer {
+    pub config: TrainConfig,
+}
+
+impl UpSamplingTrainer {
+    /// Build with the given config.
+    pub fn new(config: TrainConfig) -> Self {
+        UpSamplingTrainer { config }
+    }
+
+    /// Train on the environment-balanced objective `1/M Σ_m R_m`.
+    pub fn fit(&self, data: &EnvDataset, mut observer: Option<EpochObserver<'_>>) -> TrainOutput {
+        let mut timer = StepTimer::new();
+        let mut ops = OpCounter::new();
+        let envs = active_envs_checked(data);
+        let m_count = envs.len() as f64;
+        let mut model = LrModel::zeros(data.n_cols());
+        let mut total_grad = vec![0.0; data.n_cols()];
+        let mut grad = vec![0.0; data.n_cols()];
+        let mut momentum = crate::trainers::Momentum::new(data.n_cols(), self.config.momentum);
+        for epoch in 0..self.config.epochs {
+            total_grad.fill(0.0);
+            for &m in &envs {
+                timer.time(Step::Backward, || {
+                    env_grad(
+                        &model.weights,
+                        &data.x,
+                        &data.labels,
+                        data.env_rows(m),
+                        self.config.reg,
+                        &mut grad,
+                    );
+                });
+                ops.add_forward(1);
+                ops.add_backward(1);
+                for (t, &g) in total_grad.iter_mut().zip(&grad) {
+                    *t += g / m_count;
+                }
+            }
+            momentum.step(&mut model.weights, self.config.outer_lr, &total_grad);
+            if let Some(obs) = observer.as_mut() {
+                obs(epoch, &model);
+            }
+        }
+        TrainOutput {
+            model: TrainedModel::Global(model),
+            timer,
+            ops,
+            epochs_run: self.config.epochs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::MultiHotMatrix;
+
+    /// A 2-env toy: feature 0 is predictive everywhere; feature 2 helps in
+    /// env 0 only. Multi-hot rows: [signal_leaf, env_leaf].
+    fn toy() -> EnvDataset {
+        // Columns: 0 = "risky leaf", 1 = "safe leaf", 2/3 = env-marker leaves.
+        let mut idx = Vec::new();
+        let mut labels = Vec::new();
+        let mut envs = Vec::new();
+        for i in 0..200 {
+            let env = (i % 4 == 0) as u16; // env 1 has 25% of rows
+            let y = (i % 3 == 0) as u8;
+            let signal = if y == 1 { 0u32 } else { 1 };
+            let marker = if env == 1 { 3u32 } else { 2 };
+            idx.extend_from_slice(&[signal, marker]);
+            labels.push(y);
+            envs.push(env);
+        }
+        let x = MultiHotMatrix::new(idx, 2, 4).unwrap();
+        EnvDataset::new(x, labels, envs, vec!["big".into(), "small".into()]).unwrap()
+    }
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            epochs: 60,
+            outer_lr: 1.0,
+            ..Default::default()
+        }
+    }
+
+    fn accuracy(model: &TrainedModel, data: &EnvDataset) -> f64 {
+        let rows = data.all_rows();
+        let ps = model.predict_rows(&data.x, &rows, &data.env_ids);
+        ps.iter()
+            .zip(&data.labels)
+            .filter(|&(&p, &y)| (p >= 0.5) == (y != 0))
+            .count() as f64
+            / rows.len() as f64
+    }
+
+    #[test]
+    fn erm_learns_separable_toy() {
+        let data = toy();
+        let out = ErmTrainer::new(quick_config()).fit(&data, None);
+        assert!(accuracy(&out.model, &data) > 0.95);
+    }
+
+    #[test]
+    fn erm_counts_two_ops_per_epoch() {
+        let data = toy();
+        let out = ErmTrainer::new(quick_config()).fit(&data, None);
+        assert_eq!(out.ops.total(), 2 * quick_config().epochs as u64);
+        assert_eq!(out.ops.hvp, 0);
+    }
+
+    #[test]
+    fn erm_observer_sees_every_epoch() {
+        let data = toy();
+        let mut seen = Vec::new();
+        let mut obs = |epoch: usize, _m: &LrModel| seen.push(epoch);
+        ErmTrainer::new(quick_config()).fit(&data, Some(&mut obs));
+        assert_eq!(seen.len(), quick_config().epochs);
+        assert_eq!(seen[0], 0);
+    }
+
+    #[test]
+    fn erm_loss_decreases() {
+        let data = toy();
+        let mut losses = Vec::new();
+        let rows = data.all_rows();
+        let mut obs = |_e: usize, m: &LrModel| {
+            losses.push(crate::lr::env_loss(
+                &m.weights,
+                &data.x,
+                &data.labels,
+                &rows,
+                0.0,
+            ));
+        };
+        ErmTrainer::new(quick_config()).fit(&data, Some(&mut obs));
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn minibatch_erm_learns_the_toy() {
+        let data = toy();
+        let mut cfg = quick_config();
+        cfg.outer_lr = 0.3;
+        cfg.momentum = 0.0;
+        let out = ErmTrainer::with_batch_size(cfg, 32).fit(&data, None);
+        assert!(accuracy(&out.model, &data) > 0.95);
+        // 200 rows / 32 per batch = 7 batches per epoch.
+        assert_eq!(out.ops.total(), 2 * 7 * quick_config().epochs as u64);
+    }
+
+    #[test]
+    fn minibatch_erm_is_deterministic() {
+        let data = toy();
+        let a = ErmTrainer::with_batch_size(quick_config(), 16).fit(&data, None);
+        let b = ErmTrainer::with_batch_size(quick_config(), 16).fit(&data, None);
+        assert_eq!(a.model.global().weights, b.model.global().weights);
+    }
+
+    #[test]
+    fn finetune_produces_per_env_models() {
+        let data = toy();
+        let out = FineTuneTrainer::new(quick_config(), 10, 0.2).fit(&data, None);
+        match &out.model {
+            TrainedModel::PerEnv { per_env, .. } => {
+                assert!(per_env[0].is_some());
+                assert!(per_env[1].is_some());
+            }
+            _ => panic!("expected per-env model"),
+        }
+        assert!(accuracy(&out.model, &data) > 0.95);
+    }
+
+    #[test]
+    fn finetune_improves_env_specific_fit() {
+        let data = toy();
+        let base = ErmTrainer::new(quick_config()).fit(&data, None);
+        let tuned = FineTuneTrainer::new(quick_config(), 25, 0.3).fit(&data, None);
+        // Fine-tuned env-1 model should fit env 1 at least as well as the base.
+        let rows1 = data.env_rows(1);
+        let loss = |m: &LrModel| crate::lr::env_loss(&m.weights, &data.x, &data.labels, rows1, 0.0);
+        let base_loss = loss(base.model.global());
+        let tuned_loss = match &tuned.model {
+            TrainedModel::PerEnv { per_env, .. } => loss(per_env[1].as_ref().unwrap()),
+            _ => unreachable!(),
+        };
+        assert!(tuned_loss <= base_loss + 1e-9);
+    }
+
+    #[test]
+    fn upsampling_learns_and_balances() {
+        let data = toy();
+        let out = UpSamplingTrainer::new(quick_config()).fit(&data, None);
+        assert!(accuracy(&out.model, &data) > 0.9);
+        // 2 ops per env per epoch.
+        assert_eq!(out.ops.total(), 2 * 2 * quick_config().epochs as u64);
+    }
+
+    #[test]
+    fn upsampling_weights_envs_equally() {
+        // Env sizes differ 3:1; the balanced gradient equals the mean of
+        // per-env gradients, not the pooled gradient. Check via one step.
+        let data = toy();
+        let mut cfg = quick_config();
+        cfg.epochs = 1;
+        cfg.reg = 0.0;
+        let up = UpSamplingTrainer::new(cfg.clone()).fit(&data, None);
+        let erm = ErmTrainer::new(cfg).fit(&data, None);
+        let wu = &up.model.global().weights;
+        let we = &erm.model.global().weights;
+        // The env-marker columns (2, 3) receive different mass under the
+        // two weightings.
+        assert!(
+            (wu[3] - we[3]).abs() > 1e-6,
+            "balanced and pooled steps should differ on the small env's marker"
+        );
+    }
+}

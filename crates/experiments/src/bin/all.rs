@@ -1,0 +1,26 @@
+//! Run every table/figure regenerator in sequence, writing all JSON
+//! artifacts to the output directory. The per-artifact binaries can also
+//! be run standalone; this driver exists so
+//! `cargo run --release -p lightmirm-experiments --bin all`
+//! refreshes everything EXPERIMENTS.md reports.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "fig1", "fig4", "fig5", "table1", "table2", "fig6", "fig8", "table3", "fig7", "fig9",
+        "table4", "fig10", "table5", "fig11", "table6", "ablation",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,68 @@
+//! Diagnostics: GBDT ceiling, LR convergence, and signal levels.
+//! Not a paper artifact — a tuning aid.
+
+use lightmirm_core::prelude::*;
+use lightmirm_experiments::{build_world, ExpConfig};
+use lightmirm_metrics::{auc, ks};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let world = build_world(&cfg);
+    println!(
+        "world: {} train / {} test rows, {} leaf features",
+        world.train.n_rows(),
+        world.test.n_rows(),
+        world.train.n_cols()
+    );
+
+    // GBDT ceiling: the extractor's own scores on train and test.
+    let gb_train = world
+        .extractor
+        .gbdt()
+        .predict_proba_batch(world.frame_train.feature_matrix());
+    let gb_test = world
+        .extractor
+        .gbdt()
+        .predict_proba_batch(world.frame_test.feature_matrix());
+    println!(
+        "GBDT train AUC {:.4} KS {:.4} | test AUC {:.4} KS {:.4}",
+        auc(&gb_train, &world.frame_train.label).unwrap(),
+        ks(&gb_train, &world.frame_train.label).unwrap(),
+        auc(&gb_test, &world.frame_test.label).unwrap(),
+        ks(&gb_test, &world.frame_test.label).unwrap(),
+    );
+
+    // ERM LR convergence trace.
+    let mut bc = cfg.baseline_config();
+    bc.epochs = 600;
+    let rows_train = world.train.all_rows();
+    let rows_test = world.test.all_rows();
+    let mut trace: Vec<(usize, f64, f64, f64)> = Vec::new();
+    let mut obs = |epoch: usize, model: &LrModel| {
+        if epoch.is_multiple_of(50) || epoch == 599 {
+            let train_loss = env_loss(
+                &model.weights,
+                &world.train.x,
+                &world.train.labels,
+                &rows_train,
+                0.0,
+            );
+            let p = model.predict_rows(&world.test.x, &rows_test);
+            let labels: Vec<u8> = rows_test
+                .iter()
+                .map(|&r| world.test.labels[r as usize])
+                .collect();
+            trace.push((
+                epoch,
+                train_loss,
+                auc(&p, &labels).unwrap(),
+                ks(&p, &labels).unwrap(),
+            ));
+        }
+    };
+    ErmTrainer::new(bc).fit(&world.train, Some(&mut obs));
+    println!("\nERM LR convergence (epoch, train loss, test AUC, test KS):");
+    for (e, l, a, k) in &trace {
+        println!("  {e:>4}  {l:.4}  {a:.4}  {k:.4}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 1 — province-wise performance of an ERM-trained model: the
+//! motivating unfairness evidence. The paper's map shows KS varying
+//! sharply by province, with Xinjiang 39.05 % worse than Heilongjiang.
+
+use lightmirm_core::evaluate;
+use lightmirm_experiments::{build_world, reference, run_method, write_json, ExpConfig, Method};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let world = build_world(&cfg);
+    let run = run_method(&cfg, &world, Method::Erm, None);
+    // No row floor here: the figure shows every province, noisy or not.
+    let summary = evaluate(&run.output.model, &world.test).expect("scorable test split");
+
+    println!("\n== Fig. 1: province-wise KS of the ERM model (2020 test) ==");
+    let mut envs = summary.envs.clone();
+    envs.sort_by(|a, b| b.ks.partial_cmp(&a.ks).expect("finite KS"));
+    for e in &envs {
+        let bar = "#".repeat((e.ks * 40.0) as usize);
+        println!("{:<14} KS {:.4}  n={:<5} {bar}", e.name, e.ks, e.n);
+    }
+
+    let get = |name: &str| envs.iter().find(|e| e.name == name).map(|e| e.ks);
+    if let (Some(xj), Some(hlj)) = (get("Xinjiang"), get("Heilongjiang")) {
+        let gap = 1.0 - xj / hlj;
+        println!(
+            "\nXinjiang vs Heilongjiang relative KS gap: {:.2}% (paper: {:.2}%)",
+            gap * 100.0,
+            reference::FIG1_XINJIANG_GAP * 100.0
+        );
+    }
+    let min = envs.last().expect("nonempty");
+    let max = envs.first().expect("nonempty");
+    println!(
+        "spread: best {} {:.4} / worst {} {:.4} ({:.1}% relative)",
+        max.name,
+        max.ks,
+        min.name,
+        min.ks,
+        (1.0 - min.ks / max.ks) * 100.0
+    );
+
+    write_json(
+        &cfg,
+        "fig1",
+        &serde_json::json!({
+            "provinces": envs,
+            "paper_xinjiang_gap": reference::FIG1_XINJIANG_GAP,
+        }),
+    );
+}

@@ -1,0 +1,68 @@
+//! Fig. 11 — Hubei province in 2020: COVID hits in H1 (strong concept
+//! shift) and recovers in H2. Methods that learned invariant features hold
+//! up in H1; ERM collapses in H1 and rebounds in H2 as the old patterns
+//! roll back. Seed-averaged.
+
+use lightmirm_core::eval::score_rows;
+use lightmirm_experiments::{build_seed_worlds, run_method, write_json, ExpConfig, Method};
+use lightmirm_metrics::ks;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let worlds = build_seed_worlds(&cfg);
+
+    let methods = [
+        Method::Erm,
+        Method::UpSampling,
+        Method::GroupDro,
+        Method::VRex,
+        Method::MetaIrm(None),
+        Method::light_mirm_default(),
+    ];
+
+    println!(
+        "\n== Fig. 11: KS on Hubei 2020 (measured, {} seeds) ==",
+        cfg.n_seeds
+    );
+    println!("{:<18} {:>8} {:>8} {:>8}", "method", "H1", "H2", "|gap|");
+    let mut rows = Vec::new();
+    for method in methods {
+        let mut sum1 = 0.0;
+        let mut sum2 = 0.0;
+        for (c, world) in &worlds {
+            let hubei = world.catalog.id_of("Hubei").expect("Hubei in catalog");
+            let all_rows = world.test.env_rows(hubei as usize);
+            let split = |want: u8| -> Vec<u32> {
+                all_rows
+                    .iter()
+                    .copied()
+                    .filter(|&r| world.frame_test.half[r as usize] == want)
+                    .collect()
+            };
+            let run = run_method(c, world, method, None);
+            let ks_of = |subset: &[u32]| {
+                let (scores, labels) = score_rows(&run.output.model, &world.test, subset);
+                ks(&scores, &labels).expect("Hubei KS")
+            };
+            sum1 += ks_of(&split(0));
+            sum2 += ks_of(&split(1));
+        }
+        let n = worlds.len() as f64;
+        let (k1, k2) = (sum1 / n, sum2 / n);
+        println!(
+            "{:<18} {k1:>8.4} {k2:>8.4} {:>8.4}",
+            method.name(),
+            (k1 - k2).abs()
+        );
+        rows.push(serde_json::json!({
+            "method": method.name(), "ks_h1": k1, "ks_h2": k2,
+        }));
+    }
+    println!("\npaper: LightMIRM best H1 KS (0.5152); ERM worst-tier in H1 but");
+    println!("       best in H2 (distribution rolls back).");
+    write_json(
+        &cfg,
+        "fig11",
+        &serde_json::json!({ "rows": rows, "seeds": cfg.n_seeds }),
+    );
+}

@@ -1,0 +1,100 @@
+//! Fig. 5 / §IV-C1 — the online comparison: replaying a held-out 2020
+//! stream through "incumbent approves, LightMIRM companion may veto",
+//! sweeping the companion threshold and reporting FPR vs residual bad
+//! debt. The paper reports 2.09 % bad debt reduced to 0.73 % at τ = 0.5.
+
+use lightmirm_core::prelude::*;
+use lightmirm_experiments::{build_world, reference, run_method, write_json, ExpConfig, Method};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let world = build_world(&cfg);
+
+    // The incumbent: the platform's existing model. We stand in a weaker,
+    // older-generation scorer — the raw GBDT extractor trained with ERM —
+    // whose threshold is set to approve most applications (matching the
+    // paper's low online rejection regime).
+    let incumbent: Vec<f64> = world
+        .extractor
+        .gbdt()
+        .predict_proba_batch(world.frame_test.feature_matrix());
+
+    // The companion: LightMIRM over the leaf features.
+    let run = run_method(&cfg, &world, Method::light_mirm_default(), None);
+    let rows = world.test.all_rows();
+    let companion = run
+        .output
+        .model
+        .predict_rows(&world.test.x, &rows, &world.test.env_ids);
+
+    // Incumbent approves below the 70th percentile of its own scores — a
+    // conservative book that keeps the approved portfolio's bad-debt rate
+    // in the low single digits, the regime of the paper's online test.
+    let mut sorted = incumbent.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let incumbent_threshold = sorted[(sorted.len() as f64 * 0.70) as usize];
+
+    let grid: Vec<f64> = (0..=40).map(|i| i as f64 / 40.0).collect();
+    let replayed = replay(
+        &incumbent,
+        &companion,
+        &world.test.labels,
+        incumbent_threshold,
+        &grid,
+    )
+    .expect("replay succeeds on the test stream");
+
+    println!("\n== Fig. 5: online replay (threshold sweep) ==");
+    println!(
+        "incumbent bad debt: {:.2}% (paper: {:.2}%)",
+        replayed.incumbent_bad_debt * 100.0,
+        reference::ONLINE_INCUMBENT_BAD_DEBT * 100.0
+    );
+    println!("{:>6} {:>8} {:>9} {:>7}", "tau", "FPR", "bad debt", "veto");
+    for p in replayed.curve.iter().step_by(4) {
+        println!(
+            "{:>6.2} {:>7.2}% {:>8.2}% {:>6.2}%",
+            p.threshold,
+            p.false_positive_rate * 100.0,
+            p.bad_debt_rate * 100.0,
+            p.veto_rate * 100.0
+        );
+    }
+    // The paper quotes the operating point "threshold 0.5" on its own
+    // score scale, where the companion cut bad debt by 63 %. Our score
+    // scale differs (different calibration), so we report the operating
+    // point that achieves the same 63 % reduction and what it costs.
+    let target = replayed.incumbent_bad_debt * (1.0 - 0.63);
+    let matched = replayed
+        .curve
+        .iter()
+        .filter(|p| p.bad_debt_rate <= target)
+        .max_by(|a, b| a.threshold.partial_cmp(&b.threshold).expect("finite"))
+        .expect("sweep reaches the target at tau=0");
+    let reduction = 1.0 - matched.bad_debt_rate / replayed.incumbent_bad_debt;
+    println!(
+        "\npaper-matched operating point (>=63% bad-debt reduction):\n  \
+         tau={:.3}: bad debt {:.2}% -> {:.2}% ({:.0}% reduction) \
+         at FPR {:.1}%, veto rate {:.1}%",
+        matched.threshold,
+        replayed.incumbent_bad_debt * 100.0,
+        matched.bad_debt_rate * 100.0,
+        reduction * 100.0,
+        matched.false_positive_rate * 100.0,
+        matched.veto_rate * 100.0
+    );
+
+    write_json(
+        &cfg,
+        "fig5",
+        &serde_json::json!({
+            "incumbent_bad_debt": replayed.incumbent_bad_debt,
+            "curve": replayed.curve,
+            "matched_threshold": matched.threshold,
+            "matched_reduction": reduction,
+            "matched_fpr": matched.false_positive_rate,
+            "paper_incumbent": reference::ONLINE_INCUMBENT_BAD_DEBT,
+            "paper_companion": reference::ONLINE_COMPANION_BAD_DEBT,
+        }),
+    );
+}

@@ -1,0 +1,66 @@
+//! Fig. 6 — evolution of the test KS during training for meta-IRM
+//! variants and LightMIRM (the paper observes LightMIRM starting below the
+//! complete meta-IRM and overtaking it after ~9 epochs). Reuses
+//! `results/table2.json` when present.
+
+use lightmirm_experiments::{load_or_compute, runs, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let data = load_or_compute(&cfg, "table2", || runs::compute_sampling_comparison(&cfg));
+
+    println!("\n== Fig. 6: test-KS curves ==");
+    let curves = data["curves_fig6_fig8"].as_array().expect("curves");
+    for c in curves {
+        let name = c["method"].as_str().expect("method");
+        let series: Vec<f64> = c["test_ks"]
+            .as_array()
+            .expect("test_ks")
+            .iter()
+            .map(|v| v.as_f64().expect("f64"))
+            .collect();
+        let shown: Vec<String> = series
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 == 0)
+            .map(|(_, v)| format!("{v:.3}"))
+            .collect();
+        println!("{name:<14} {}", shown.join(" "));
+    }
+
+    // Crossover analysis: first epoch where LightMIRM's KS exceeds the
+    // complete meta-IRM's.
+    let series_of = |name: &str| -> Vec<f64> {
+        curves
+            .iter()
+            .find(|c| c["method"] == name)
+            .expect("method present")["test_ks"]
+            .as_array()
+            .expect("series")
+            .iter()
+            .map(|v| v.as_f64().expect("f64"))
+            .collect()
+    };
+    let light = series_of("LightMIRM(our)");
+    let meta = series_of("meta-IRM");
+    let meta_final = *meta.last().expect("nonempty");
+    let crossover = light
+        .iter()
+        .zip(&meta)
+        .position(|(l, m)| l > m)
+        .map(|e| e.to_string())
+        .unwrap_or_else(|| "never".into());
+    let near_parity = light
+        .iter()
+        .position(|&l| l > meta_final - 0.002)
+        .map(|e| e.to_string())
+        .unwrap_or_else(|| "never".into());
+    println!(
+        "\nLightMIRM starts below the complete meta-IRM (paper Fig. 6 shape);\n\
+         strict pooled-KS crossover epoch: {crossover} (paper: ~9);\n\
+         epoch reaching within 0.002 of complete meta-IRM's final KS: {near_parity}.\n\
+         Final gap: {:.4} (LightMIRM) vs {:.4} (complete).",
+        light.last().expect("nonempty"),
+        meta_final
+    );
+}

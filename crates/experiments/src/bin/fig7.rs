@@ -1,0 +1,29 @@
+//! Fig. 7 — the proportion of each step in the total epoch time
+//! (the meta-loss calculation dominating the complete meta-IRM). Reuses
+//! `results/table3.json` when present.
+
+use lightmirm_experiments::{load_or_compute, runs, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let data = load_or_compute(&cfg, "table3", || runs::compute_timing(&cfg));
+
+    println!("\n== Fig. 7: per-step share of epoch time ==");
+    let labels = data["labels"].as_array().expect("labels");
+    for row in data["measured_seconds_per_epoch"].as_array().expect("rows") {
+        let name = row["method"].as_str().expect("method");
+        let steps: Vec<f64> = row["steps"]
+            .as_array()
+            .expect("steps")
+            .iter()
+            .map(|v| v.as_f64().expect("f64"))
+            .collect();
+        let total = steps[5].max(1e-12);
+        println!("{name}:");
+        for (i, label) in labels.iter().take(5).enumerate() {
+            let pct = steps[i] / total * 100.0;
+            let bar = "#".repeat((pct / 2.0) as usize);
+            println!("  {:<28} {pct:5.1}% {bar}", label.as_str().expect("label"));
+        }
+    }
+}

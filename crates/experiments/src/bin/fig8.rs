@@ -1,0 +1,23 @@
+//! Fig. 8 — performance (test AUC) of the meta-IRM variants and LightMIRM
+//! during training. Reuses `results/table2.json` when present.
+
+use lightmirm_experiments::{load_or_compute, runs, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let data = load_or_compute(&cfg, "table2", || runs::compute_sampling_comparison(&cfg));
+
+    println!("\n== Fig. 8: test-AUC curves ==");
+    for c in data["curves_fig6_fig8"].as_array().expect("curves") {
+        let name = c["method"].as_str().expect("method");
+        let shown: Vec<String> = c["test_auc"]
+            .as_array()
+            .expect("test_auc")
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 == 0)
+            .map(|(_, v)| format!("{:.3}", v.as_f64().expect("f64")))
+            .collect();
+        println!("{name:<14} {}", shown.join(" "));
+    }
+}

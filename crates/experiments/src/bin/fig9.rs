@@ -1,0 +1,56 @@
+//! Fig. 9 — ablation on the MRQ length: LightMIRM with L ∈ 1..=9,
+//! reporting mean and worst KS (paper: best mKS at L = 7, best wKS at
+//! L = 5, L = 1 clearly worst). Seed-averaged (`--seeds`).
+
+use lightmirm_experiments::{
+    build_seed_worlds, print_header, reference, run_method_avg, write_json, ExpConfig, Method,
+};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let worlds = build_seed_worlds(&cfg);
+
+    print_header(&format!(
+        "Fig. 9: MRQ length ablation (measured, {} seeds)",
+        cfg.n_seeds
+    ));
+    let mut rows = Vec::new();
+    for len in 1..=9usize {
+        let (mks, wks, mauc, wauc, _) = run_method_avg(&worlds, Method::LightMirm(len, 90));
+        println!("L={len}                   {mks:>7.4} {wks:>7.4} {mauc:>7.4} {wauc:>7.4}");
+        rows.push(serde_json::json!({
+            "len": len, "mKS": mks, "wKS": wks, "mAUC": mauc, "wAUC": wauc,
+        }));
+    }
+
+    let best_by = |key: &str| {
+        rows.iter()
+            .max_by(|a, b| {
+                a[key]
+                    .as_f64()
+                    .expect("metric")
+                    .partial_cmp(&b[key].as_f64().expect("metric"))
+                    .expect("finite")
+            })
+            .expect("nonempty")["len"]
+            .clone()
+    };
+    let best_mean = best_by("mKS");
+    let best_worst = best_by("wKS");
+    println!(
+        "\nbest mKS at L={best_mean} (paper: {}), best wKS at L={best_worst} (paper: {})",
+        reference::FIG9_BEST_MEAN_LEN,
+        reference::FIG9_BEST_WORST_LEN
+    );
+
+    write_json(
+        &cfg,
+        "fig9",
+        &serde_json::json!({
+            "rows": rows,
+            "best_mean_len": best_mean,
+            "best_worst_len": best_worst,
+            "seeds": cfg.n_seeds,
+        }),
+    );
+}

@@ -1,0 +1,58 @@
+//! Table I — main comparison: 7 paper methods (+ IRMv1 as an extension)
+//! × {mKS, wKS, mAUC, wAUC} on the temporal split (train 2016–19, test
+//! 2020). Seed-averaged (`--seeds`).
+
+use lightmirm_experiments::{
+    build_seed_worlds, print_header, reference, run_method_avg, write_json, ExpConfig, Method,
+};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let worlds = build_seed_worlds(&cfg);
+    let (first_cfg, first_world) = &worlds[0];
+    let _ = first_cfg;
+    println!(
+        "world: {} train rows / {} test rows / {} leaf features / {} train envs ({} seeds)",
+        first_world.train.n_rows(),
+        first_world.test.n_rows(),
+        first_world.train.n_cols(),
+        first_world.train.active_envs().len(),
+        cfg.n_seeds,
+    );
+
+    let methods = [
+        Method::Erm,
+        Method::ErmFineTune,
+        Method::UpSampling,
+        Method::GroupDro,
+        Method::VRex,
+        Method::Irmv1,
+        Method::MetaIrm(None),
+        Method::light_mirm_default(),
+    ];
+
+    print_header("Table I (paper reference)");
+    for &(name, mks, wks, mauc, wauc) in reference::TABLE_I {
+        println!("{name:<22} {mks:>7.4} {wks:>7.4} {mauc:>7.4} {wauc:>7.4}");
+    }
+
+    print_header(&format!("Table I (measured, {} seeds)", cfg.n_seeds));
+    let mut rows = Vec::new();
+    for method in methods {
+        let (mks, wks, mauc, wauc, wall) = run_method_avg(&worlds, method);
+        println!(
+            "{:<22} {mks:>7.4} {wks:>7.4} {mauc:>7.4} {wauc:>7.4}  [{wall:.1}s]",
+            method.name()
+        );
+        rows.push(serde_json::json!({
+            "method": method.name(),
+            "mKS": mks, "wKS": wks, "mAUC": mauc, "wAUC": wauc,
+            "wall_seconds": wall,
+        }));
+    }
+    write_json(
+        &cfg,
+        "table1",
+        &serde_json::json!({ "rows": rows, "seeds": cfg.n_seeds }),
+    );
+}

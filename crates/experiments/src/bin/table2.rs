@@ -1,0 +1,28 @@
+//! Table II — LightMIRM vs meta-IRM under different sampling budgets
+//! (final metrics). Shares its run with Figs. 6 and 8 via
+//! `results/table2.json`.
+
+use lightmirm_experiments::{load_or_compute, print_header, reference, runs, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let data = load_or_compute(&cfg, "table2", || runs::compute_sampling_comparison(&cfg));
+
+    print_header("Table II (paper reference)");
+    for &(name, mks, wks, mauc, wauc) in reference::TABLE_II {
+        println!("{name:<22} {mks:>7.4} {wks:>7.4} {mauc:>7.4} {wauc:>7.4}");
+    }
+
+    print_header("Table II (measured)");
+    for row in data["rows"].as_array().expect("rows") {
+        println!(
+            "{:<22} {:>7.4} {:>7.4} {:>7.4} {:>7.4}  [{:.1}s]",
+            row["method"].as_str().expect("method"),
+            row["mKS"].as_f64().expect("mKS"),
+            row["wKS"].as_f64().expect("wKS"),
+            row["mAUC"].as_f64().expect("mAUC"),
+            row["wAUC"].as_f64().expect("wAUC"),
+            row["wall_seconds"].as_f64().expect("wall"),
+        );
+    }
+}

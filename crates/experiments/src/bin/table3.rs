@@ -1,0 +1,48 @@
+//! Table III — time per training step for meta-IRM, meta-IRM(5), and
+//! LightMIRM. Shares its run with Fig. 7 via `results/table3.json`.
+
+use lightmirm_experiments::{load_or_compute, reference, runs, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let data = load_or_compute(&cfg, "table3", || runs::compute_timing(&cfg));
+
+    println!("\n== Table III (paper reference, seconds per operation) ==");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "step", "meta-IRM", "meta-IRM(5)", "LightMIRM"
+    );
+    for &(step, a, b, c) in reference::TABLE_III {
+        println!("{step:<28} {a:>10.4} {b:>12.4} {c:>10.4}");
+    }
+
+    println!("\n== Table III (measured, seconds per epoch) ==");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "step", "meta-IRM", "meta-IRM(5)", "LightMIRM"
+    );
+    let measured = data["measured_seconds_per_epoch"].as_array().expect("rows");
+    let labels = data["labels"].as_array().expect("labels");
+    for (i, label) in labels.iter().enumerate() {
+        let v = |j: usize| measured[j]["steps"][i].as_f64().expect("step");
+        println!(
+            "{:<28} {:>10.4} {:>12.4} {:>10.4}",
+            label.as_str().expect("label"),
+            v(0),
+            v(1),
+            v(2)
+        );
+    }
+    println!(
+        "\nops/epoch: meta-IRM {} | meta-IRM(5) {} | LightMIRM {}",
+        measured[0]["ops_per_epoch"], measured[1]["ops_per_epoch"], measured[2]["ops_per_epoch"]
+    );
+    println!(
+        "whole-epoch speedup meta-IRM/LightMIRM: {:.1}x (paper: ~12x)",
+        data["epoch_speedup"].as_f64().expect("speedup")
+    );
+    println!(
+        "meta-loss speedup: {:.1}x (paper: ~30x)",
+        data["meta_loss_speedup"].as_f64().expect("speedup")
+    );
+}

@@ -1,0 +1,130 @@
+//! Shared multi-binary computations: the Table II / Fig. 6 / Fig. 8
+//! sampling comparison and the Table III / Fig. 7 timing run. Binaries
+//! call these through [`crate::load_or_compute`] so the figure views reuse
+//! the table runs' JSON instead of retraining.
+
+use lightmirm_core::prelude::*;
+use lightmirm_metrics::{auc, ks};
+
+use crate::{build_seed_worlds, build_world, run_method, summarize, ExpConfig, Method};
+
+/// Train the Table II methods (meta-IRM complete/20/10/5, LightMIRM) with
+/// per-epoch test KS/AUC curves, averaged over `cfg.n_seeds` worlds.
+/// Feeds Table II, Fig. 6, and Fig. 8.
+pub fn compute_sampling_comparison(cfg: &ExpConfig) -> serde_json::Value {
+    let worlds = build_seed_worlds(cfg);
+    let methods = [
+        Method::MetaIrm(None),
+        Method::MetaIrm(Some(20)),
+        Method::MetaIrm(Some(10)),
+        Method::MetaIrm(Some(5)),
+        Method::light_mirm_default(),
+    ];
+
+    let mut table_rows = Vec::new();
+    let mut curves = Vec::new();
+    for method in methods {
+        let mut acc = [0.0f64; 4];
+        let mut wall = 0.0;
+        let mut ops = None;
+        let mut ks_curve: Vec<f64> = vec![0.0; cfg.epochs];
+        let mut auc_curve: Vec<f64> = vec![0.0; cfg.epochs];
+        for (c, world) in &worlds {
+            let rows_test = world.test.all_rows();
+            let labels_test: Vec<u8> = rows_test
+                .iter()
+                .map(|&r| world.test.labels[r as usize])
+                .collect();
+            let mut obs = |epoch: usize, model: &LrModel| {
+                let p = model.predict_rows(&world.test.x, &rows_test);
+                ks_curve[epoch] += ks(&p, &labels_test).expect("test KS");
+                auc_curve[epoch] += auc(&p, &labels_test).expect("test AUC");
+            };
+            let run = run_method(c, world, method, Some(&mut obs));
+            let s = summarize(c, world, &run);
+            acc[0] += s.m_ks;
+            acc[1] += s.w_ks;
+            acc[2] += s.m_auc;
+            acc[3] += s.w_auc;
+            wall += run.wall_seconds;
+            ops.get_or_insert(run.output.ops);
+        }
+        let n = worlds.len() as f64;
+        for v in ks_curve.iter_mut().chain(auc_curve.iter_mut()) {
+            *v /= n;
+        }
+        table_rows.push(serde_json::json!({
+            "method": method.name(),
+            "mKS": acc[0] / n, "wKS": acc[1] / n,
+            "mAUC": acc[2] / n, "wAUC": acc[3] / n,
+            "wall_seconds": wall / n,
+            "ops": ops.expect("at least one seed"),
+        }));
+        curves.push(serde_json::json!({
+            "method": method.name(),
+            "epochs": (0..cfg.epochs).collect::<Vec<_>>(),
+            "test_ks": ks_curve,
+            "test_auc": auc_curve,
+        }));
+    }
+    serde_json::json!({
+        "rows": table_rows,
+        "curves_fig6_fig8": curves,
+        "seeds": cfg.n_seeds,
+    })
+}
+
+/// Time the Table III methods step by step. Feeds Table III and Fig. 7.
+pub fn compute_timing(cfg: &ExpConfig) -> serde_json::Value {
+    let mut cfg = cfg.clone();
+    // Per-epoch cost is stationary; a few epochs give clean averages.
+    cfg.epochs = cfg.epochs.min(10);
+    let world = build_world(&cfg);
+    let labels = [
+        "loading data",
+        "transforming the format",
+        "inner optimization",
+        "calculating the meta-losses",
+        "backward propagation",
+        "the whole epoch",
+    ];
+    let mut measured = Vec::new();
+    for (name, method) in [
+        ("meta-IRM", Method::MetaIrm(None)),
+        ("meta-IRM(5)", Method::MetaIrm(Some(5))),
+        ("LightMIRM", Method::light_mirm_default()),
+    ] {
+        // Re-transform the frames so the TransformFormat step is charged
+        // per run (in training itself the transform happens once up front).
+        let mut timer = StepTimer::new();
+        let _ = world
+            .extractor
+            .to_env_dataset(&world.frame_train, world.names.clone(), Some(&mut timer))
+            .expect("transform");
+        let run = run_method(&cfg, &world, method, None);
+        timer.merge(&run.output.timer);
+        let per_epoch = |d: std::time::Duration| d.as_secs_f64() / cfg.epochs as f64;
+        let steps = [
+            per_epoch(timer.total(Step::LoadData)),
+            per_epoch(timer.total(Step::TransformFormat)),
+            per_epoch(timer.total(Step::InnerOptimization)),
+            per_epoch(timer.total(Step::MetaLoss)),
+            per_epoch(timer.total(Step::Backward)),
+            per_epoch(timer.epoch_total()),
+        ];
+        measured.push(serde_json::json!({
+            "method": name,
+            "steps": steps,
+            "ops_per_epoch": run.output.ops.total() / cfg.epochs as u64,
+            "hvp_per_epoch": run.output.ops.hvp / cfg.epochs as u64,
+        }));
+    }
+    let step_of = |i: usize, j: usize| measured[i]["steps"][j].as_f64().expect("step time");
+    serde_json::json!({
+        "labels": labels,
+        "measured_seconds_per_epoch": measured,
+        "epoch_speedup": step_of(0, 5) / step_of(2, 5),
+        "meta_loss_speedup": step_of(0, 3) / step_of(2, 3),
+        "epochs_timed": cfg.epochs,
+    })
+}

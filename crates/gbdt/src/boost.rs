@@ -1,0 +1,607 @@
+//! Gradient boosting driver: binary-logloss objective, shrinkage, early
+//! stopping, prediction, and the GBDT+LR leaf-index transform.
+
+use crate::binning::BinnedDataset;
+use crate::grow::{grow_tree_sampled, GrowConfig};
+use crate::tree::Tree;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Hyper-parameters of a boosted ensemble.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Shrinkage applied to every leaf value.
+    pub learning_rate: f64,
+    /// Maximum bins for feature discretization.
+    pub max_bins: usize,
+    /// Per-tree structural parameters.
+    pub grow: GrowConfig,
+    /// Stop when the validation logloss has not improved for this many
+    /// rounds (requires a validation set in [`Gbdt::fit_with_valid`]).
+    pub early_stopping_rounds: Option<usize>,
+    /// Fraction of features considered per tree (LightGBM
+    /// `feature_fraction`); `1.0` disables sub-sampling.
+    pub feature_fraction: f64,
+    /// Fraction of rows used per tree (LightGBM `bagging_fraction`);
+    /// `1.0` disables bagging.
+    pub bagging_fraction: f64,
+    /// Seed for the stochastic knobs (irrelevant when both fractions are
+    /// `1.0`).
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            n_trees: 100,
+            learning_rate: 0.1,
+            max_bins: 255,
+            grow: GrowConfig::default(),
+            early_stopping_rounds: None,
+            feature_fraction: 1.0,
+            bagging_fraction: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Errors from training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GbdtError {
+    /// Features/labels disagree in length or the matrix is ragged.
+    ShapeMismatch { rows: usize, labels: usize },
+    /// The training set is empty.
+    Empty,
+    /// Labels are all one class; boosting logloss degenerates.
+    SingleClass,
+}
+
+impl std::fmt::Display for GbdtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GbdtError::ShapeMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            GbdtError::Empty => write!(f, "empty training set"),
+            GbdtError::SingleClass => write!(f, "labels contain a single class"),
+        }
+    }
+}
+
+impl std::error::Error for GbdtError {}
+
+/// A trained gradient-boosted ensemble for binary classification.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Gbdt {
+    trees: Vec<Tree>,
+    /// Prior log-odds added to every prediction.
+    base_score: f64,
+    n_features: usize,
+    /// `leaf_offsets[t]` = index of tree `t`'s leaf 0 in the concatenated
+    /// one-hot layout; the last entry is the total leaf count.
+    leaf_offsets: Vec<u32>,
+    /// Total split gain per feature across all trees.
+    feature_importance: Vec<f64>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn logloss(scores: &[f64], labels: &[u8]) -> f64 {
+    let mut total = 0.0;
+    for (&s, &y) in scores.iter().zip(labels) {
+        let p = sigmoid(s).clamp(1e-12, 1.0 - 1e-12);
+        total -= if y != 0 { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / scores.len() as f64
+}
+
+impl Gbdt {
+    /// Train on a row-major matrix without a validation set.
+    ///
+    /// # Errors
+    ///
+    /// See [`GbdtError`].
+    pub fn fit(
+        features: &[f32],
+        n_features: usize,
+        labels: &[u8],
+        config: &GbdtConfig,
+    ) -> Result<Self, GbdtError> {
+        Self::fit_with_valid(features, n_features, labels, None, config)
+    }
+
+    /// Train with an optional `(features, labels)` validation set used for
+    /// early stopping.
+    ///
+    /// # Errors
+    ///
+    /// See [`GbdtError`].
+    pub fn fit_with_valid(
+        features: &[f32],
+        n_features: usize,
+        labels: &[u8],
+        valid: Option<(&[f32], &[u8])>,
+        config: &GbdtConfig,
+    ) -> Result<Self, GbdtError> {
+        if n_features == 0 || !features.len().is_multiple_of(n_features) {
+            return Err(GbdtError::ShapeMismatch {
+                rows: 0,
+                labels: labels.len(),
+            });
+        }
+        let n_rows = features.len() / n_features;
+        if n_rows != labels.len() {
+            return Err(GbdtError::ShapeMismatch {
+                rows: n_rows,
+                labels: labels.len(),
+            });
+        }
+        if n_rows == 0 {
+            return Err(GbdtError::Empty);
+        }
+        let pos = labels.iter().filter(|&&y| y != 0).count();
+        if pos == 0 || pos == n_rows {
+            return Err(GbdtError::SingleClass);
+        }
+
+        let data = BinnedDataset::fit(features, n_features, config.max_bins);
+        let prior = pos as f64 / n_rows as f64;
+        let base_score = (prior / (1.0 - prior)).ln();
+
+        let mut model = Gbdt {
+            trees: Vec::with_capacity(config.n_trees),
+            base_score,
+            n_features,
+            leaf_offsets: vec![0],
+            feature_importance: vec![0.0; n_features],
+        };
+
+        let mut scores = vec![base_score; n_rows];
+        let mut grads = vec![0.0f64; n_rows];
+        let mut hessians = vec![0.0f64; n_rows];
+
+        let mut valid_scores: Option<Vec<f64>> =
+            valid.map(|(vf, _)| vec![base_score; vf.len() / n_features]);
+        let mut best_loss = f64::INFINITY;
+        let mut best_len = 0usize;
+        let mut stall = 0usize;
+
+        assert!(
+            (0.0..=1.0).contains(&config.feature_fraction) && config.feature_fraction > 0.0,
+            "feature_fraction must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.bagging_fraction) && config.bagging_fraction > 0.0,
+            "bagging_fraction must be in (0, 1]"
+        );
+        let stochastic = config.feature_fraction < 1.0 || config.bagging_fraction < 1.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        for _round in 0..config.n_trees {
+            for i in 0..n_rows {
+                let p = sigmoid(scores[i]);
+                grads[i] = p - labels[i] as f64;
+                hessians[i] = (p * (1.0 - p)).max(1e-16);
+            }
+            // Per-tree stochastic knobs: a random feature mask and row bag.
+            let feature_mask: Option<Vec<bool>> = (config.feature_fraction < 1.0).then(|| {
+                let keep = ((n_features as f64 * config.feature_fraction).round() as usize)
+                    .clamp(1, n_features);
+                let mut picks: Vec<usize> = (0..n_features).collect();
+                picks.shuffle(&mut rng);
+                let mut mask = vec![false; n_features];
+                for &f in &picks[..keep] {
+                    mask[f] = true;
+                }
+                mask
+            });
+            let bag: Option<Vec<u32>> = (config.bagging_fraction < 1.0).then(|| {
+                (0..n_rows as u32)
+                    .filter(|_| rng.gen::<f64>() < config.bagging_fraction)
+                    .collect()
+            });
+            let bag = match bag {
+                // An unlucky empty bag falls back to the full row set.
+                Some(b) if b.is_empty() => None,
+                other => other,
+            };
+            let mut grown = grow_tree_sampled(
+                &data,
+                &grads,
+                &hessians,
+                &config.grow,
+                bag.as_deref(),
+                feature_mask.as_deref(),
+            );
+            // Shrinkage folds into the stored leaf values so that
+            // prediction is a plain sum over trees.
+            grown.tree = scale_leaves(grown.tree, config.learning_rate);
+            if stochastic {
+                // Bagged trees must also update out-of-bag rows: route each
+                // row through the raw-threshold tree.
+                for (i, score) in scores.iter_mut().enumerate() {
+                    *score += grown
+                        .tree
+                        .predict(&features[i * n_features..(i + 1) * n_features]);
+                }
+            } else {
+                for (leaf_idx, rows) in grown.leaf_rows.iter().enumerate() {
+                    let value = leaf_output(&grown.tree, leaf_idx as u32);
+                    for &r in rows {
+                        scores[r as usize] += value;
+                    }
+                }
+            }
+            for (imp, g) in model.feature_importance.iter_mut().zip(&grown.feature_gain) {
+                *imp += g;
+            }
+            let n_leaves = grown.tree.n_leaves();
+            model.trees.push(grown.tree);
+            model
+                .leaf_offsets
+                .push(model.leaf_offsets.last().unwrap() + n_leaves);
+
+            if let (Some((vf, vy)), Some(vs)) = (valid, valid_scores.as_mut()) {
+                let tree = model.trees.last().expect("just pushed");
+                for (row_idx, score) in vs.iter_mut().enumerate() {
+                    *score += tree.predict(&vf[row_idx * n_features..(row_idx + 1) * n_features]);
+                }
+                let loss = logloss(vs, vy);
+                if loss < best_loss - 1e-9 {
+                    best_loss = loss;
+                    best_len = model.trees.len();
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if config
+                        .early_stopping_rounds
+                        .is_some_and(|rounds| stall >= rounds)
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Truncate to the best validation point when early stopping ran.
+        if valid.is_some() && config.early_stopping_rounds.is_some() && best_len > 0 {
+            model.trees.truncate(best_len);
+            model.leaf_offsets.truncate(best_len + 1);
+        }
+        Ok(model)
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// One tree of the ensemble (for inspection/explanation).
+    pub fn tree(&self, t: usize) -> &Tree {
+        &self.trees[t]
+    }
+
+    /// Feature width expected by prediction.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total leaves across all trees — the dimension `N` of the GBDT+LR
+    /// multi-hot feature space.
+    pub fn total_leaves(&self) -> usize {
+        *self.leaf_offsets.last().expect("offsets never empty") as usize
+    }
+
+    /// Total split gain per feature (importance).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.feature_importance
+    }
+
+    /// Raw log-odds prediction for one row.
+    pub fn predict_logit(&self, row: &[f32]) -> f64 {
+        debug_assert_eq!(row.len(), self.n_features);
+        self.base_score + self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+
+    /// Default probability for one row.
+    pub fn predict_proba(&self, row: &[f32]) -> f64 {
+        sigmoid(self.predict_logit(row))
+    }
+
+    /// Default probabilities for a row-major matrix.
+    pub fn predict_proba_batch(&self, features: &[f32]) -> Vec<f64> {
+        features
+            .chunks_exact(self.n_features)
+            .map(|row| self.predict_proba(row))
+            .collect()
+    }
+
+    /// The GBDT+LR transform of one row: for each tree, the global index
+    /// of the leaf the row falls in (`leaf_offsets[t] + leaf`). The result
+    /// is the sparse encoding of the concatenated one-hot vector —
+    /// exactly `n_trees` active positions out of [`Gbdt::total_leaves`].
+    pub fn transform_row(&self, row: &[f32], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.trees.len());
+        for (t, tree) in self.trees.iter().enumerate() {
+            out.push(self.leaf_offsets[t] + tree.leaf_index(row));
+        }
+    }
+
+    /// Transform a row-major matrix into flat CSR-style indices: row `i`
+    /// occupies `indices[i*n_trees..(i+1)*n_trees]`.
+    pub fn transform_batch(&self, features: &[f32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(features.len() / self.n_features * self.trees.len());
+        let mut row_buf = Vec::new();
+        for row in features.chunks_exact(self.n_features) {
+            self.transform_row(row, &mut row_buf);
+            out.extend_from_slice(&row_buf);
+        }
+        out
+    }
+}
+
+fn scale_leaves(tree: Tree, factor: f64) -> Tree {
+    use crate::tree::Node;
+    let n_leaves = tree.n_leaves();
+    let nodes = tree
+        .nodes()
+        .iter()
+        .map(|n| match *n {
+            Node::Leaf { value, index } => Node::Leaf {
+                value: value * factor,
+                index,
+            },
+            ref split => split.clone(),
+        })
+        .collect();
+    Tree::from_nodes(nodes, n_leaves)
+}
+
+fn leaf_output(tree: &Tree, leaf: u32) -> f64 {
+    use crate::tree::Node;
+    tree.nodes()
+        .iter()
+        .find_map(|n| match *n {
+            Node::Leaf { value, index } if index == leaf => Some(value),
+            _ => None,
+        })
+        .expect("leaf index exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A nonlinear but learnable binary problem on 2 features.
+    fn ring_data(n: usize) -> (Vec<f32>, Vec<u8>) {
+        let mut feats = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            // Low-discrepancy grid points in [-1,1]^2.
+            let x = ((i * 2654435761_usize) % 1000) as f32 / 500.0 - 1.0;
+            let y = ((i * 40503_usize) % 1000) as f32 / 500.0 - 1.0;
+            feats.extend_from_slice(&[x, y]);
+            labels.push(((x * x + y * y) < 0.5) as u8);
+        }
+        (feats, labels)
+    }
+
+    fn quick_config(n_trees: usize) -> GbdtConfig {
+        GbdtConfig {
+            n_trees,
+            learning_rate: 0.3,
+            max_bins: 64,
+            grow: GrowConfig {
+                max_leaves: 8,
+                min_data_in_leaf: 5,
+                lambda_l2: 1.0,
+                min_gain: 1e-6,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_a_nonlinear_boundary() {
+        let (feats, labels) = ring_data(2000);
+        let model = Gbdt::fit(&feats, 2, &labels, &quick_config(40)).unwrap();
+        let probs = model.predict_proba_batch(&feats);
+        let correct = probs
+            .iter()
+            .zip(&labels)
+            .filter(|&(&p, &y)| (p >= 0.5) == (y != 0))
+            .count();
+        let acc = correct as f64 / labels.len() as f64;
+        assert!(acc > 0.95, "train accuracy {acc} too low");
+    }
+
+    #[test]
+    fn more_trees_reduce_training_loss() {
+        let (feats, labels) = ring_data(1000);
+        let small = Gbdt::fit(&feats, 2, &labels, &quick_config(3)).unwrap();
+        let large = Gbdt::fit(&feats, 2, &labels, &quick_config(30)).unwrap();
+        let loss = |m: &Gbdt| {
+            let scores: Vec<f64> = feats
+                .chunks_exact(2)
+                .map(|row| m.predict_logit(row))
+                .collect();
+            logloss(&scores, &labels)
+        };
+        assert!(loss(&large) < loss(&small));
+    }
+
+    #[test]
+    fn base_score_matches_prior() {
+        let (feats, labels) = ring_data(500);
+        let model = Gbdt::fit(&feats, 2, &labels, &quick_config(0)).unwrap();
+        assert_eq!(model.n_trees(), 0);
+        let prior = labels.iter().filter(|&&y| y != 0).count() as f64 / labels.len() as f64;
+        let p = model.predict_proba(&[0.0, 0.0]);
+        assert!((p - prior).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_has_one_index_per_tree() {
+        let (feats, labels) = ring_data(500);
+        let model = Gbdt::fit(&feats, 2, &labels, &quick_config(10)).unwrap();
+        let mut idx = Vec::new();
+        model.transform_row(&feats[0..2], &mut idx);
+        assert_eq!(idx.len(), model.n_trees());
+        // Indices fall in disjoint per-tree ranges and are sorted.
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!((*idx.last().unwrap() as usize) < model.total_leaves());
+    }
+
+    #[test]
+    fn transform_batch_matches_row_transform() {
+        let (feats, labels) = ring_data(300);
+        let model = Gbdt::fit(&feats, 2, &labels, &quick_config(5)).unwrap();
+        let batch = model.transform_batch(&feats);
+        let mut row_buf = Vec::new();
+        for (i, row) in feats.chunks_exact(2).enumerate() {
+            model.transform_row(row, &mut row_buf);
+            assert_eq!(&batch[i * 5..(i + 1) * 5], row_buf.as_slice());
+        }
+    }
+
+    #[test]
+    fn total_leaves_matches_offsets() {
+        let (feats, labels) = ring_data(500);
+        let model = Gbdt::fit(&feats, 2, &labels, &quick_config(7)).unwrap();
+        let direct: usize = (0..model.n_trees())
+            .map(|t| (model.leaf_offsets[t + 1] - model.leaf_offsets[t]) as usize)
+            .sum();
+        assert_eq!(direct, model.total_leaves());
+    }
+
+    #[test]
+    fn early_stopping_truncates() {
+        let (feats, labels) = ring_data(1200);
+        let (train_f, valid_f) = feats.split_at(1600);
+        let (train_y, valid_y) = labels.split_at(800);
+        let mut config = quick_config(200);
+        config.early_stopping_rounds = Some(5);
+        let model =
+            Gbdt::fit_with_valid(train_f, 2, train_y, Some((valid_f, valid_y)), &config).unwrap();
+        assert!(
+            model.n_trees() < 200,
+            "expected early stop, got {}",
+            model.n_trees()
+        );
+        assert_eq!(model.leaf_offsets.len(), model.n_trees() + 1);
+    }
+
+    #[test]
+    fn errors_on_bad_shapes() {
+        assert!(matches!(
+            Gbdt::fit(&[1.0, 2.0, 3.0], 2, &[0, 1], &quick_config(1)),
+            Err(GbdtError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Gbdt::fit(&[1.0, 2.0], 2, &[0, 1], &quick_config(1)),
+            Err(GbdtError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Gbdt::fit(&[], 2, &[], &quick_config(1)),
+            Err(GbdtError::Empty)
+        ));
+        assert!(matches!(
+            Gbdt::fit(&[1.0, 2.0, 3.0, 4.0], 2, &[1, 1], &quick_config(1)),
+            Err(GbdtError::SingleClass)
+        ));
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let (feats, labels) = ring_data(400);
+        let model = Gbdt::fit(&feats, 2, &labels, &quick_config(15)).unwrap();
+        for p in model.predict_proba_batch(&feats) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn importance_concentrates_on_informative_features() {
+        // Feature 1 is pure noise, feature 0 determines the label.
+        let n = 1000;
+        let mut feats = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = (i % 100) as f32 / 100.0;
+            let noise = ((i * 2654435761_usize) % 97) as f32;
+            feats.extend_from_slice(&[x, noise]);
+            labels.push((x > 0.5) as u8);
+        }
+        let model = Gbdt::fit(&feats, 2, &labels, &quick_config(10)).unwrap();
+        let imp = model.feature_importance();
+        assert!(imp[0] > 10.0 * imp[1].max(1e-12));
+    }
+
+    #[test]
+    fn stochastic_knobs_train_and_stay_deterministic() {
+        let (feats, labels) = ring_data(1500);
+        let mut config = quick_config(20);
+        config.feature_fraction = 0.5;
+        config.bagging_fraction = 0.7;
+        config.seed = 9;
+        let a = Gbdt::fit(&feats, 2, &labels, &config).unwrap();
+        let b = Gbdt::fit(&feats, 2, &labels, &config).unwrap();
+        assert_eq!(a, b);
+        // Still learns the ring.
+        let probs = a.predict_proba_batch(&feats);
+        let acc = probs
+            .iter()
+            .zip(&labels)
+            .filter(|&(&p, &y)| (p >= 0.5) == (y != 0))
+            .count() as f64
+            / labels.len() as f64;
+        assert!(acc > 0.9, "stochastic train accuracy {acc}");
+        // A different seed gives a different ensemble.
+        config.seed = 10;
+        let c = Gbdt::fit(&feats, 2, &labels, &config).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_fractions_match_the_deterministic_path() {
+        let (feats, labels) = ring_data(500);
+        let mut config = quick_config(5);
+        config.feature_fraction = 1.0;
+        config.bagging_fraction = 1.0;
+        config.seed = 123; // must be irrelevant
+        let a = Gbdt::fit(&feats, 2, &labels, &config).unwrap();
+        config.seed = 456;
+        let b = Gbdt::fit(&feats, 2, &labels, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (feats, labels) = ring_data(500);
+        let a = Gbdt::fit(&feats, 2, &labels, &quick_config(5)).unwrap();
+        let b = Gbdt::fit(&feats, 2, &labels, &quick_config(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (feats, labels) = ring_data(300);
+        let model = Gbdt::fit(&feats, 2, &labels, &quick_config(4)).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: Gbdt = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+    }
+}

@@ -1,0 +1,486 @@
+//! Leaf-wise (best-first) tree growth over binned data.
+//!
+//! LightGBM's distinguishing growth strategy: instead of expanding level by
+//! level, always split the leaf with the highest gain until `max_leaves`
+//! leaves exist or no leaf has a positive-gain split. The smaller child's
+//! histograms are built from data; the larger child's come from the
+//! subtraction trick.
+
+use crate::binning::BinnedDataset;
+use crate::histogram::{best_split, leaf_value, FeatureHistogram, SplitCandidate};
+use crate::tree::{Node, Tree};
+
+/// Structural hyper-parameters of a single tree.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GrowConfig {
+    /// Maximum number of leaves per tree (LightGBM `num_leaves`).
+    pub max_leaves: u32,
+    /// Minimum rows per leaf.
+    pub min_data_in_leaf: u32,
+    /// L2 regularization λ on leaf values.
+    pub lambda_l2: f64,
+    /// Minimum gain for a split to be accepted.
+    pub min_gain: f64,
+}
+
+impl Default for GrowConfig {
+    fn default() -> Self {
+        GrowConfig {
+            max_leaves: 31,
+            min_data_in_leaf: 20,
+            lambda_l2: 1.0,
+            min_gain: 1e-6,
+        }
+    }
+}
+
+/// A grown tree plus which training rows landed in each leaf — the boost
+/// loop uses the assignment to update scores without re-routing.
+#[derive(Debug)]
+pub struct GrownTree {
+    pub tree: Tree,
+    /// `leaf_rows[leaf_index]` = training rows in that leaf.
+    pub leaf_rows: Vec<Vec<u32>>,
+    /// Total split gain attributed to each feature (importance).
+    pub feature_gain: Vec<f64>,
+}
+
+struct WorkingLeaf {
+    /// Slot in the provisional node array to patch when this leaf splits.
+    node_slot: usize,
+    rows: Vec<u32>,
+    hists: Vec<FeatureHistogram>,
+    best: Option<SplitCandidate>,
+}
+
+/// Grow one tree against per-row gradients and hessians.
+///
+/// # Panics
+///
+/// Panics when `grads`/`hessians` lengths differ from the dataset rows.
+pub fn grow_tree(
+    data: &BinnedDataset,
+    grads: &[f64],
+    hessians: &[f64],
+    config: &GrowConfig,
+) -> GrownTree {
+    grow_tree_sampled(data, grads, hessians, config, None, None)
+}
+
+/// [`grow_tree`] restricted to a row subset (bagging) and/or a feature
+/// subset (feature sub-sampling). `allowed_features[f] = false` removes
+/// feature `f` from split consideration for this tree.
+///
+/// # Panics
+///
+/// Panics on length mismatches, an empty row subset, or a feature mask of
+/// the wrong width.
+pub fn grow_tree_sampled(
+    data: &BinnedDataset,
+    grads: &[f64],
+    hessians: &[f64],
+    config: &GrowConfig,
+    row_subset: Option<&[u32]>,
+    allowed_features: Option<&[bool]>,
+) -> GrownTree {
+    assert_eq!(grads.len(), data.n_rows(), "gradient length mismatch");
+    assert_eq!(hessians.len(), data.n_rows(), "hessian length mismatch");
+    assert!(config.max_leaves >= 1);
+    if let Some(mask) = allowed_features {
+        assert_eq!(mask.len(), data.n_features(), "feature mask width mismatch");
+    }
+
+    let n_features = data.n_features();
+    let mut feature_gain = vec![0.0f64; n_features];
+
+    let all_rows: Vec<u32> = match row_subset {
+        Some(rows) => {
+            assert!(!rows.is_empty(), "empty bagging subset");
+            rows.to_vec()
+        }
+        None => (0..data.n_rows() as u32).collect(),
+    };
+    let root_hists = build_histograms(data, &all_rows, grads, hessians);
+    let root_best = scan_best_masked(&root_hists, config, allowed_features);
+
+    // Provisional flat tree; leaves are patched into splits as they grow.
+    let mut nodes: Vec<Node> = vec![Node::Leaf {
+        value: 0.0,
+        index: u32::MAX,
+    }];
+    let mut working = vec![WorkingLeaf {
+        node_slot: 0,
+        rows: all_rows,
+        hists: root_hists,
+        best: root_best,
+    }];
+    let mut finalized: Vec<WorkingLeaf> = Vec::new();
+
+    while (working.len() + finalized.len()) < config.max_leaves as usize {
+        // Pick the working leaf with the highest splittable gain.
+        let Some(pick) = working
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.best.map(|b| (i, b.gain)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gains are finite"))
+            .map(|(i, _)| i)
+        else {
+            break; // nothing splittable
+        };
+        let leaf = working.swap_remove(pick);
+        let split = leaf.best.expect("picked leaves have splits");
+        feature_gain[split.feature as usize] += split.gain;
+
+        // Partition rows by the chosen bin threshold.
+        let codes = data.feature_codes(split.feature as usize);
+        let mut left_rows = Vec::with_capacity(split.left_count as usize);
+        let mut right_rows = Vec::with_capacity(split.right_count as usize);
+        for &r in &leaf.rows {
+            if codes[r as usize] <= split.threshold_bin {
+                left_rows.push(r);
+            } else {
+                right_rows.push(r);
+            }
+        }
+        debug_assert_eq!(left_rows.len(), split.left_count as usize);
+        debug_assert_eq!(right_rows.len(), split.right_count as usize);
+
+        // Build the smaller child's histograms; subtract for the larger.
+        let (small_rows, _large_rows, small_is_left) = if left_rows.len() <= right_rows.len() {
+            (&left_rows, &right_rows, true)
+        } else {
+            (&right_rows, &left_rows, false)
+        };
+        let small_hists = build_histograms(data, small_rows, grads, hessians);
+        let large_hists: Vec<FeatureHistogram> = leaf
+            .hists
+            .iter()
+            .zip(&small_hists)
+            .map(|(parent, small)| parent.subtract_from(small))
+            .collect();
+        let (left_hists, right_hists) = if small_is_left {
+            (small_hists, large_hists)
+        } else {
+            (large_hists, small_hists)
+        };
+
+        // Patch the parent slot into a split and append the two children.
+        let left_slot = nodes.len();
+        let right_slot = nodes.len() + 1;
+        let threshold = data
+            .mapper(split.feature as usize)
+            .upper_edge(split.threshold_bin);
+        nodes[leaf.node_slot] = Node::Split {
+            feature: split.feature,
+            threshold,
+            left: left_slot as u32,
+            right: right_slot as u32,
+        };
+        nodes.push(Node::Leaf {
+            value: 0.0,
+            index: u32::MAX,
+        });
+        nodes.push(Node::Leaf {
+            value: 0.0,
+            index: u32::MAX,
+        });
+
+        for (slot, rows, hists) in [
+            (left_slot, left_rows, left_hists),
+            (right_slot, right_rows, right_hists),
+        ] {
+            let best = scan_best_masked(&hists, config, allowed_features);
+            let child = WorkingLeaf {
+                node_slot: slot,
+                rows,
+                hists,
+                best,
+            };
+            // A leaf that can never split again still counts toward
+            // max_leaves; keep it in `working` only if splittable so the
+            // loop guard stays simple.
+            if child.best.is_some() {
+                working.push(child);
+            } else {
+                finalized.push(child);
+            }
+        }
+    }
+    finalized.append(&mut working);
+
+    // Assign dense leaf indices and optimal values.
+    let mut leaf_rows: Vec<Vec<u32>> = Vec::with_capacity(finalized.len());
+    for (leaf_idx, leaf) in finalized.into_iter().enumerate() {
+        let totals = leaf.hists.first().map(|h| h.totals()).unwrap_or_default();
+        let value = leaf_value(totals.grad, totals.hess, config.lambda_l2);
+        nodes[leaf.node_slot] = Node::Leaf {
+            value,
+            index: leaf_idx as u32,
+        };
+        leaf_rows.push(leaf.rows);
+    }
+    let n_leaves = leaf_rows.len() as u32;
+    GrownTree {
+        tree: Tree::from_nodes(nodes, n_leaves),
+        leaf_rows,
+        feature_gain,
+    }
+}
+
+fn build_histograms(
+    data: &BinnedDataset,
+    rows: &[u32],
+    grads: &[f64],
+    hessians: &[f64],
+) -> Vec<FeatureHistogram> {
+    use rayon::prelude::*;
+    // Per-feature histograms are independent; parallelize when the work is
+    // large enough to amortize the fork/join (the sequential path keeps
+    // single-core boxes and tiny leaves fast).
+    if rows.len() * data.n_features() < 1 << 16 {
+        (0..data.n_features())
+            .map(|f| {
+                FeatureHistogram::build(
+                    data.feature_codes(f),
+                    rows,
+                    grads,
+                    hessians,
+                    data.mapper(f).n_bins(),
+                )
+            })
+            .collect()
+    } else {
+        (0..data.n_features())
+            .into_par_iter()
+            .map(|f| {
+                FeatureHistogram::build(
+                    data.feature_codes(f),
+                    rows,
+                    grads,
+                    hessians,
+                    data.mapper(f).n_bins(),
+                )
+            })
+            .collect()
+    }
+}
+
+fn scan_best_masked(
+    hists: &[FeatureHistogram],
+    config: &GrowConfig,
+    allowed: Option<&[bool]>,
+) -> Option<SplitCandidate> {
+    hists
+        .iter()
+        .enumerate()
+        .filter(|(f, _)| allowed.is_none_or(|mask| mask[*f]))
+        .filter_map(|(f, h)| {
+            best_split(
+                h,
+                f as u32,
+                config.lambda_l2,
+                config.min_data_in_leaf,
+                config.min_gain,
+            )
+        })
+        .max_by(|a, b| a.gain.partial_cmp(&b.gain).expect("gains are finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gradients for squared loss toward targets: grad = pred - y with
+    /// pred = 0, hess = 1.
+    fn regression_grads(targets: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        (
+            targets.iter().map(|&y| -y).collect(),
+            vec![1.0; targets.len()],
+        )
+    }
+
+    fn cfg(max_leaves: u32, min_leaf: u32) -> GrowConfig {
+        GrowConfig {
+            max_leaves,
+            min_data_in_leaf: min_leaf,
+            lambda_l2: 0.0,
+            min_gain: 1e-9,
+        }
+    }
+
+    #[test]
+    fn splits_a_step_function_exactly() {
+        // y = 1 for x > 0.5, else 0. One split suffices.
+        let n = 100;
+        let feats: Vec<f32> = (0..n).map(|i| i as f32 / n as f32).collect();
+        let targets: Vec<f64> = feats.iter().map(|&x| (x > 0.5) as u8 as f64).collect();
+        let data = BinnedDataset::fit(&feats, 1, 255);
+        let (g, h) = regression_grads(&targets);
+        let grown = grow_tree(&data, &g, &h, &cfg(2, 1));
+        assert_eq!(grown.tree.n_leaves(), 2);
+        // Check predictions recover the step.
+        for (i, &x) in feats.iter().enumerate() {
+            let p = grown.tree.predict(&[x]);
+            assert!(
+                (p - targets[i]).abs() < 1e-9,
+                "x={x} pred={p} want={}",
+                targets[i]
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_rows_partition_the_data() {
+        let n = 200;
+        let feats: Vec<f32> = (0..n).map(|i| ((i * 37) % n) as f32).collect();
+        let targets: Vec<f64> = feats.iter().map(|&x| (x as f64 * 0.1).sin()).collect();
+        let data = BinnedDataset::fit(&feats, 1, 32);
+        let (g, h) = regression_grads(&targets);
+        let grown = grow_tree(&data, &g, &h, &cfg(8, 5));
+        let mut seen = vec![false; n];
+        for rows in &grown.leaf_rows {
+            for &r in rows {
+                assert!(!seen[r as usize], "row {r} in two leaves");
+                seen[r as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn leaf_assignment_matches_routing() {
+        let n = 300;
+        let feats: Vec<f32> = (0..n)
+            .flat_map(|i| [((i * 13) % 97) as f32, ((i * 7) % 31) as f32])
+            .collect();
+        let targets: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let data = BinnedDataset::fit(&feats, 2, 32);
+        let (g, h) = regression_grads(&targets);
+        let grown = grow_tree(&data, &g, &h, &cfg(12, 5));
+        for (leaf_idx, rows) in grown.leaf_rows.iter().enumerate() {
+            for &r in rows {
+                let row = &feats[r as usize * 2..r as usize * 2 + 2];
+                assert_eq!(
+                    grown.tree.leaf_index(row),
+                    leaf_idx as u32,
+                    "row {r} routed inconsistently"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_max_leaves() {
+        let n = 500;
+        let feats: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let targets: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 100) as f64)
+            .collect();
+        let data = BinnedDataset::fit(&feats, 1, 255);
+        let (g, h) = regression_grads(&targets);
+        for max_leaves in [1u32, 2, 4, 7, 16] {
+            let grown = grow_tree(&data, &g, &h, &cfg(max_leaves, 1));
+            assert!(grown.tree.n_leaves() <= max_leaves);
+        }
+    }
+
+    #[test]
+    fn max_leaves_one_gives_stump() {
+        let feats = [1.0f32, 2.0, 3.0, 4.0];
+        let data = BinnedDataset::fit(&feats, 1, 8);
+        let (g, h) = regression_grads(&[0.0, 0.0, 1.0, 1.0]);
+        let grown = grow_tree(&data, &g, &h, &cfg(1, 1));
+        assert_eq!(grown.tree.n_leaves(), 1);
+        // Value is the global Newton step: -sum(g)/sum(h) = mean target.
+        assert!((grown.tree.predict(&[9.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_data_in_leaf_blocks_splits() {
+        let feats = [0.0f32, 1.0, 2.0, 3.0];
+        let data = BinnedDataset::fit(&feats, 1, 8);
+        let (g, h) = regression_grads(&[0.0, 0.0, 1.0, 1.0]);
+        let grown = grow_tree(&data, &g, &h, &cfg(4, 3));
+        // No split can give both sides >= 3 of 4 rows.
+        assert_eq!(grown.tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn pure_targets_do_not_split() {
+        let feats = [0.0f32, 1.0, 2.0, 3.0];
+        let data = BinnedDataset::fit(&feats, 1, 8);
+        let (g, h) = regression_grads(&[2.0, 2.0, 2.0, 2.0]);
+        let grown = grow_tree(&data, &g, &h, &cfg(8, 1));
+        assert_eq!(grown.tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn feature_mask_excludes_features_from_splits() {
+        // Both features informative; masking feature 0 forces splits on 1.
+        let n = 200;
+        let feats: Vec<f32> = (0..n).flat_map(|i| [i as f32, (n - i) as f32]).collect();
+        let targets: Vec<f64> = (0..n).map(|i| (i >= 100) as u8 as f64).collect();
+        let data = BinnedDataset::fit(&feats, 2, 32);
+        let (g, h) = regression_grads(&targets);
+        let grown = grow_tree_sampled(&data, &g, &h, &cfg(4, 1), None, Some(&[false, true]));
+        assert_eq!(grown.feature_gain[0], 0.0);
+        assert!(grown.feature_gain[1] > 0.0);
+    }
+
+    #[test]
+    fn row_subset_limits_leaf_rows() {
+        let n = 100;
+        let feats: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let targets: Vec<f64> = (0..n).map(|i| (i >= 50) as u8 as f64).collect();
+        let data = BinnedDataset::fit(&feats, 1, 32);
+        let (g, h) = regression_grads(&targets);
+        let subset: Vec<u32> = (0..n as u32).step_by(2).collect();
+        let grown = grow_tree_sampled(&data, &g, &h, &cfg(4, 1), Some(&subset), None);
+        let covered: usize = grown.leaf_rows.iter().map(Vec::len).sum();
+        assert_eq!(covered, subset.len());
+        for rows in &grown.leaf_rows {
+            for &r in rows {
+                assert!(r.is_multiple_of(2), "row {r} outside the bag");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_gain_attributes_to_informative_feature() {
+        // Feature 0 carries signal, feature 1 is constant.
+        let n = 100;
+        let feats: Vec<f32> = (0..n).flat_map(|i| [i as f32, 1.0]).collect();
+        let targets: Vec<f64> = (0..n).map(|i| (i >= 50) as u8 as f64).collect();
+        let data = BinnedDataset::fit(&feats, 2, 32);
+        let (g, h) = regression_grads(&targets);
+        let grown = grow_tree(&data, &g, &h, &cfg(4, 1));
+        assert!(grown.feature_gain[0] > 0.0);
+        assert_eq!(grown.feature_gain[1], 0.0);
+    }
+
+    #[test]
+    fn two_feature_interaction_needs_depth() {
+        // Additive + interaction target over two binary features: fitting
+        // it exactly needs all 4 cells, and (unlike pure XOR) the first
+        // greedy split already has positive gain.
+        let rows = [
+            (0.0f32, 0.0f32, 0.0f64),
+            (0.0, 1.0, 1.0),
+            (1.0, 0.0, 2.0),
+            (1.0, 1.0, 5.0),
+        ];
+        let mut feats = Vec::new();
+        let mut targets = Vec::new();
+        for &(a, b, y) in rows.iter().cycle().take(400) {
+            feats.extend_from_slice(&[a, b]);
+            targets.push(y);
+        }
+        let data = BinnedDataset::fit(&feats, 2, 8);
+        let (g, h) = regression_grads(&targets);
+        let grown = grow_tree(&data, &g, &h, &cfg(4, 1));
+        assert_eq!(grown.tree.n_leaves(), 4);
+        for &(a, b, y) in &rows {
+            assert!((grown.tree.predict(&[a, b]) - y).abs() < 1e-9);
+        }
+    }
+}

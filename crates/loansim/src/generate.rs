@@ -1,0 +1,709 @@
+//! The causal generative model behind the synthetic loan platform.
+//!
+//! Each record is produced by the following structural model (DESIGN.md §2
+//! explains why this preserves the paper's comparisons):
+//!
+//! 1. Draw `(year, half)` and a province `e` by the year's transaction-share
+//!    weights ([`crate::provinces`]), then a vehicle type by the drifting
+//!    mix ([`crate::schema::VehicleType::mix_weight`]).
+//! 2. Draw latent creditworthiness `u ~ N(μ_e, 1)` and income stability
+//!    `s ~ N(0, 1)`. Underrepresented provinces have lower `μ_e`
+//!    (covariate shift).
+//! 3. Fill the applicant/bank/vehicle blocks as noisy nonlinear views of
+//!    `(u, s)` — these are the *invariant* features: their relationship to
+//!    default is identical in every province and every year.
+//! 4. Compute the default logit
+//!    `η = intercept + base_e + covid(e, year, half) + risk(u, s, contract)`
+//!    and draw `y ~ Bernoulli(σ(η))`.
+//! 5. Fill the spurious channel block *anti-causally*:
+//!    `x_j = a_j · γ_e(year) · (2y−1) + ε`. The coupling `γ_e` differs per
+//!    province during 2016–2019 (large provinces have strong couplings) and
+//!    collapses in 2020 — a shortcut that helps ERM in-distribution and
+//!    betrays it out-of-distribution, while varying across environments so
+//!    IRM can detect and discard it.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::frame::LoanFrame;
+use crate::provinces::ProvinceCatalog;
+use crate::rng::{poisson, randn, sample_weighted, sigmoid};
+use crate::schema::{
+    Schema, VehicleType, APPLICANT_RANGE, BANK_RANGE, NOISE_RANGE, NUM_FEATURES, SPURIOUS_RANGE,
+    VEHICLE_RANGE,
+};
+
+/// Configuration of the generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Total number of records to generate.
+    pub rows: usize,
+    /// RNG seed; equal configs with equal seeds produce identical frames.
+    pub seed: u64,
+    /// Years to generate and their relative volumes. Defaults to
+    /// 2016–2020 with equal volumes (the paper trains on 2016–2019 and
+    /// tests on 2020).
+    pub year_weights: Vec<(u16, f64)>,
+    /// Province catalog (the environments).
+    pub catalog: ProvinceCatalog,
+    /// Global multiplier on the spurious couplings; `0.0` removes the
+    /// shortcut entirely (useful in ablations).
+    pub spurious_scale: f64,
+    /// Global intercept of the default logit; more negative means fewer
+    /// defaults. The default of `-2.9` yields roughly an 8–12 % default
+    /// rate depending on province.
+    pub intercept: f64,
+    /// Probability that any individual applicant/bank/vehicle feature cell
+    /// is missing (`NaN`), as on a real platform where bureau pulls and
+    /// form fields fail. `0.0` (default) disables missingness. The label
+    /// process always sees the true values — missingness is an
+    /// observation defect, not a causal one.
+    pub missing_rate: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            rows: 100_000,
+            seed: 7,
+            year_weights: vec![
+                (2016, 1.0),
+                (2017, 1.0),
+                (2018, 1.0),
+                (2019, 1.0),
+                (2020, 1.0),
+            ],
+            catalog: ProvinceCatalog::standard(),
+            spurious_scale: 1.0,
+            intercept: -2.9,
+            missing_rate: 0.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small config for tests: `rows` records, standard world.
+    pub fn small(rows: usize, seed: u64) -> Self {
+        GeneratorConfig {
+            rows,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-column loading of the spurious block: column `j` moves by
+/// `SPURIOUS_LOADING[j] · γ_e · (2y−1)` standard deviations. The loadings
+/// decay so the aggregate shortcut is informative but not dominant.
+fn spurious_loading(j: usize) -> f64 {
+    0.42 / (1.0 + j as f64 * 0.40)
+}
+
+/// Generate a full dataset under the config.
+///
+/// Deterministic: the same config (including seed) produces a bit-identical
+/// [`LoanFrame`]. For platform-scale datasets that should not be held in
+/// memory at once, use [`RecordStream`] — its chunks concatenate to
+/// exactly this frame.
+pub fn generate(config: &GeneratorConfig) -> LoanFrame {
+    let mut stream = RecordStream::new(config.clone());
+    stream.next_chunk(config.rows).unwrap_or_default()
+}
+
+/// A resumable, chunked generator: the paper's platform processes 1.4 M
+/// records, which need not be materialized at once. Chunks drawn from one
+/// stream concatenate bit-identically to [`generate`]'s output for the
+/// same config.
+#[derive(Debug, Clone)]
+pub struct RecordStream {
+    config: GeneratorConfig,
+    rng: ChaCha8Rng,
+    remaining: usize,
+    years: Vec<u16>,
+    year_w: Vec<f64>,
+    province_w: Vec<Vec<f64>>,
+}
+
+impl RecordStream {
+    /// Open a stream over the config's `rows` records.
+    pub fn new(config: GeneratorConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let years: Vec<u16> = config.year_weights.iter().map(|&(y, _)| y).collect();
+        let year_w: Vec<f64> = config.year_weights.iter().map(|&(_, w)| w).collect();
+        let province_w: Vec<Vec<f64>> = years
+            .iter()
+            .map(|&y| config.catalog.weights_for_year(y))
+            .collect();
+        let remaining = config.rows;
+        RecordStream {
+            config,
+            rng,
+            remaining,
+            years,
+            year_w,
+            province_w,
+        }
+    }
+
+    /// Records not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Produce the next up-to-`n` records; `None` once exhausted.
+    pub fn next_chunk(&mut self, n: usize) -> Option<LoanFrame> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let take = n.min(self.remaining);
+        self.remaining -= take;
+        let mut frame = LoanFrame::new();
+        let mut features = vec![0.0f32; NUM_FEATURES];
+        for _ in 0..take {
+            let yi = sample_weighted(&mut self.rng, &self.year_w);
+            let year = self.years[yi];
+            let half = self.rng.gen_range(0..2u8);
+            let province = sample_weighted(&mut self.rng, &self.province_w[yi]) as u16;
+            let record = generate_record(
+                &self.config,
+                &mut self.rng,
+                year,
+                half,
+                province,
+                &mut features,
+            );
+            frame
+                .push(
+                    &features,
+                    year,
+                    half,
+                    province,
+                    record.vehicle as u8,
+                    record.label,
+                )
+                .expect("generator always emits full-width rows");
+        }
+        Some(frame)
+    }
+}
+
+struct RecordMeta {
+    vehicle: VehicleType,
+    label: u8,
+}
+
+/// Generate a single record in-place into `features`.
+fn generate_record(
+    config: &GeneratorConfig,
+    rng: &mut ChaCha8Rng,
+    year: u16,
+    half: u8,
+    province: u16,
+    features: &mut [f32],
+) -> RecordMeta {
+    let p = config.catalog.get(province);
+    let develop = p.feature_shift;
+
+    // Vehicle type follows the drifting, province-modulated mix.
+    let mix: Vec<f64> = VehicleType::ALL
+        .iter()
+        .map(|v| v.mix_weight(year, develop))
+        .collect();
+    let vehicle = VehicleType::ALL[sample_weighted(rng, &mix)];
+
+    // Latents: creditworthiness u and income stability s. Covariate shift
+    // enters through the province mean of u.
+    let u = randn(rng) + 0.6 * develop;
+    let s = randn(rng);
+
+    // ---- applicant block -------------------------------------------------
+    let age = (32.0 + 9.0 * randn(rng)).clamp(20.0, 62.0);
+    let income = (8.6 + 0.45 * u + 0.35 * develop + 0.22 * randn(rng)).exp();
+    let employment_years = (2.0 + 1.8 * (u + 1.0).max(0.0) + randn(rng).abs()).min(30.0);
+    let dependents = poisson(rng, 1.2) as f64;
+    let education = sample_weighted(
+        rng,
+        &[
+            1.0,
+            2.0 + develop.max(0.0) * 3.0,
+            2.0,
+            1.0 + develop.max(0.0) * 4.0,
+            0.5,
+        ],
+    ) as f64;
+    let occupation = rng.gen_range(0..10) as f64;
+    let marital = rng.gen_range(0..4) as f64;
+    let residence = rng.gen_range(0..3) as f64;
+    let city_tier = (2.0 - 2.0 * develop + 0.8 * randn(rng))
+        .clamp(1.0, 5.0)
+        .round();
+    let has_mortgage = (rng.gen::<f64>() < sigmoid(0.4 * u - 0.2)) as u8 as f64;
+    let applicant_named = [
+        age,
+        income,
+        employment_years,
+        dependents,
+        education,
+        occupation,
+        marital,
+        residence,
+        city_tier,
+        has_mortgage,
+    ];
+    for (k, idx) in APPLICANT_RANGE.enumerate() {
+        features[idx] = if k < applicant_named.len() {
+            applicant_named[k] as f32
+        } else {
+            // Weakly informative filler: faint views of the latents.
+            (0.15 * u + 0.10 * s + 0.05 * develop + randn(rng)) as f32
+        };
+    }
+
+    // ---- bank block -------------------------------------------------------
+    let credit_score = (620.0 + 70.0 * u + 12.0 * randn(rng)).clamp(300.0, 850.0);
+    let past_defaults = poisson(rng, (0.25 - 0.55 * u).exp().min(8.0)) as f64;
+    let credit_lines = (1.0 + poisson(rng, 2.0) as f64).min(15.0);
+    let utilization = sigmoid(0.2 - 0.7 * u + 0.4 * randn(rng));
+    let months_since_delinq =
+        (6.0 + 14.0 * (u + 1.2).max(0.0) + 4.0 * randn(rng)).clamp(0.0, 120.0);
+    let total_debt = (7.5 - 0.35 * u + 0.45 * randn(rng)).exp();
+    let dti = sigmoid(-0.7 * u - 0.4 * s + 0.35 * randn(rng));
+    let inquiries = poisson(rng, (0.6 - 0.3 * u).exp().min(6.0)) as f64;
+    let savings = (6.0 + 0.8 * u + 0.5 * s + 0.6 * randn(rng)).exp();
+    let has_card = (rng.gen::<f64>() < sigmoid(0.8 * u + 0.5)) as u8 as f64;
+    let bank_named = [
+        credit_score,
+        past_defaults,
+        credit_lines,
+        utilization,
+        months_since_delinq,
+        total_debt,
+        dti,
+        inquiries,
+        savings,
+        has_card,
+    ];
+    for (k, idx) in BANK_RANGE.enumerate() {
+        features[idx] = if k < bank_named.len() {
+            bank_named[k] as f32
+        } else {
+            (0.18 * u + 0.08 * s + randn(rng)) as f32
+        };
+    }
+
+    // ---- vehicle block ----------------------------------------------------
+    let base_price = match vehicle {
+        VehicleType::Sedan => 10.5,
+        VehicleType::Suv => 11.0,
+        VehicleType::Mpv => 10.8,
+        VehicleType::TrailerTruck => 11.8,
+        VehicleType::LightTruck => 10.9,
+        VehicleType::UsedCar => 9.8,
+    };
+    let vehicle_price = (base_price + 0.25 * u + 0.15 * develop + 0.25 * randn(rng)).exp();
+    let down_payment_ratio = (0.25 + 0.08 * u + 0.05 * randn(rng)).clamp(0.10, 0.60);
+    let loan_term = *[24.0f64, 36.0, 48.0, 60.0]
+        .get(sample_weighted(rng, &[1.0, 3.0, 3.0, 1.5]))
+        .expect("4 weights");
+    let is_used = matches!(vehicle, VehicleType::UsedCar) as u8 as f64;
+    let vehicle_age = if is_used > 0.0 {
+        (1.0 + 4.0 * rng.gen::<f64>()).round()
+    } else {
+        0.0
+    };
+    let installment = vehicle_price * (1.0 - down_payment_ratio) / loan_term;
+    let dealer_tier = rng.gen_range(1..4) as f64;
+    let vehicle_named = [
+        vehicle as u8 as f64,
+        vehicle_price,
+        down_payment_ratio,
+        loan_term,
+        is_used,
+        vehicle_age,
+        installment,
+        dealer_tier,
+    ];
+    for (k, idx) in VEHICLE_RANGE.enumerate() {
+        features[idx] = if k < vehicle_named.len() {
+            vehicle_named[k] as f32
+        } else {
+            (0.1 * develop + randn(rng)) as f32
+        };
+    }
+
+    // ---- default label ----------------------------------------------------
+    let vehicle_risk = match vehicle {
+        VehicleType::UsedCar => 0.30,
+        VehicleType::TrailerTruck => 0.20,
+        VehicleType::LightTruck => 0.10,
+        _ => 0.0,
+    };
+    let risk = -1.70 * u - 0.70 * s - 2.2 * (down_payment_ratio - 0.25)
+        + 0.9 * (dti - 0.5)
+        + 0.4 * (utilization - 0.5)
+        + 0.012 * (installment / 180.0 - 1.0)
+        + vehicle_risk;
+    // During the COVID shock, defaults decouple from the risk features
+    // (exogenous income loss): the risk slope is diluted while the
+    // intercept shock raises the base rate.
+    let dilution = config.catalog.risk_dilution(province, year, half);
+    let eta = config.intercept
+        + p.base_logit
+        + config.catalog.covid_shock(province, year, half)
+        + (1.0 - dilution) * risk;
+    let label = (rng.gen::<f64>() < sigmoid(eta)) as u8;
+
+    // ---- spurious block (anti-causal, env-coupled) -------------------------
+    let gamma = config.spurious_scale * config.catalog.spurious_gamma_at(province, year, half);
+    let dir = if label == 1 { 1.0 } else { -1.0 };
+    for (j, idx) in SPURIOUS_RANGE.enumerate() {
+        features[idx] = (spurious_loading(j) * gamma * dir + randn(rng)) as f32;
+    }
+
+    // ---- noise block --------------------------------------------------------
+    for idx in NOISE_RANGE {
+        features[idx] = randn(rng) as f32;
+    }
+
+    // ---- observation defects -------------------------------------------------
+    if config.missing_rate > 0.0 {
+        // Only the observed applicant/bank/vehicle blocks can go missing;
+        // the platform always knows its own channel codes.
+        for idx in APPLICANT_RANGE.chain(BANK_RANGE).chain(VEHICLE_RANGE) {
+            if rng.gen::<f64>() < config.missing_rate {
+                features[idx] = f32::NAN;
+            }
+        }
+    }
+
+    RecordMeta { vehicle, label }
+}
+
+/// Convenience: generate and return both the frame and its schema.
+pub fn generate_with_schema(config: &GeneratorConfig) -> (LoanFrame, Schema) {
+    (generate(config), Schema::standard())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LoanFrame {
+        generate(&GeneratorConfig::small(4000, 11))
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate(&GeneratorConfig::small(500, 3));
+        let b = generate(&GeneratorConfig::small(500, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GeneratorConfig::small(200, 3));
+        let b = generate(&GeneratorConfig::small(200, 4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rows_and_width_match_config() {
+        let f = small();
+        assert_eq!(f.len(), 4000);
+        assert_eq!(f.n_features(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn default_rate_is_moderate() {
+        let rate = small().default_rate();
+        assert!(
+            (0.03..0.25).contains(&rate),
+            "default rate {rate} out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn all_years_and_provinces_appear() {
+        let f = generate(&GeneratorConfig::small(20_000, 5));
+        for y in 2016..=2020u16 {
+            assert!(f.year.contains(&y), "missing year {y}");
+        }
+        // The big provinces must all appear at this sample size.
+        for pid in 0..10u16 {
+            assert!(f.province.contains(&pid), "missing province {pid}");
+        }
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let f = small();
+        for r in 0..f.len() {
+            for &v in f.row(r) {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn guangdong_share_declines_in_2020() {
+        let f = generate(&GeneratorConfig::small(60_000, 9));
+        let cat = ProvinceCatalog::standard();
+        let gd = cat.id_of("Guangdong").unwrap();
+        let share = |year: u16| {
+            let total = f.year.iter().filter(|&&y| y == year).count() as f64;
+            let in_gd = (0..f.len())
+                .filter(|&r| f.year[r] == year && f.province[r] == gd)
+                .count() as f64;
+            in_gd / total
+        };
+        assert!(
+            share(2020) < 0.65 * share(2018),
+            "2018 {:.3} vs 2020 {:.3}",
+            share(2018),
+            share(2020)
+        );
+    }
+
+    #[test]
+    fn hubei_default_rate_spikes_in_2020_h1() {
+        let f = generate(&GeneratorConfig::small(200_000, 13));
+        let cat = ProvinceCatalog::standard();
+        let hb = cat.id_of("Hubei").unwrap();
+        let rate = |year: u16, half: u8| {
+            let rows: Vec<usize> = f.filter_rows(|y, h, p| y == year && h == half && p == hb);
+            let pos = rows.iter().filter(|&&r| f.label[r] != 0).count() as f64;
+            pos / rows.len() as f64
+        };
+        let pre = rate(2019, 0);
+        let h1 = rate(2020, 0);
+        let h2 = rate(2020, 1);
+        assert!(
+            h1 > 1.35 * pre,
+            "H1 2020 {h1:.3} should spike above {pre:.3}"
+        );
+        assert!(h2 < 0.7 * h1, "H2 2020 {h2:.3} should recover from {h1:.3}");
+    }
+
+    #[test]
+    fn spurious_block_separates_labels_in_training_years() {
+        let f = generate(&GeneratorConfig::small(30_000, 17));
+        // Mean of the first spurious column conditioned on the label,
+        // restricted to a high-gamma province (Guangdong=0) pre-2020.
+        let col = SPURIOUS_RANGE.start;
+        let mut pos = (0.0, 0usize);
+        let mut neg = (0.0, 0usize);
+        for r in 0..f.len() {
+            if f.province[r] == 0 && f.year[r] < 2020 {
+                let v = f.row(r)[col] as f64;
+                if f.label[r] != 0 {
+                    pos = (pos.0 + v, pos.1 + 1);
+                } else {
+                    neg = (neg.0 + v, neg.1 + 1);
+                }
+            }
+        }
+        let gap = pos.0 / pos.1 as f64 - neg.0 / neg.1 as f64;
+        assert!(gap > 0.5, "spurious gap {gap} should be strong pre-2020");
+    }
+
+    #[test]
+    fn spurious_block_collapses_in_2020() {
+        let f = generate(&GeneratorConfig::small(60_000, 17));
+        let col = SPURIOUS_RANGE.start;
+        let gap_for = |want_2020: bool| {
+            let mut pos = (0.0, 0usize);
+            let mut neg = (0.0, 0usize);
+            for r in 0..f.len() {
+                if (f.year[r] == 2020) == want_2020 {
+                    let v = f.row(r)[col] as f64;
+                    if f.label[r] != 0 {
+                        pos = (pos.0 + v, pos.1 + 1);
+                    } else {
+                        neg = (neg.0 + v, neg.1 + 1);
+                    }
+                }
+            }
+            pos.0 / pos.1 as f64 - neg.0 / neg.1 as f64
+        };
+        let train_gap = gap_for(false);
+        let test_gap = gap_for(true);
+        assert!(
+            test_gap.abs() < 0.55 * train_gap.abs(),
+            "2020 spurious gap {test_gap} should collapse well below the training gap {train_gap}"
+        );
+    }
+
+    #[test]
+    fn spurious_scale_zero_removes_coupling() {
+        let mut cfg = GeneratorConfig::small(30_000, 19);
+        cfg.spurious_scale = 0.0;
+        let f = generate(&cfg);
+        let col = SPURIOUS_RANGE.start;
+        let mut pos = (0.0, 0usize);
+        let mut neg = (0.0, 0usize);
+        for r in 0..f.len() {
+            let v = f.row(r)[col] as f64;
+            if f.label[r] != 0 {
+                pos = (pos.0 + v, pos.1 + 1);
+            } else {
+                neg = (neg.0 + v, neg.1 + 1);
+            }
+        }
+        let gap = pos.0 / pos.1 as f64 - neg.0 / neg.1 as f64;
+        assert!(gap.abs() < 0.1, "gap {gap} should vanish at scale 0");
+    }
+
+    #[test]
+    fn underrepresented_provinces_have_higher_default_rates() {
+        let f = generate(&GeneratorConfig::small(200_000, 23));
+        let cat = ProvinceCatalog::standard();
+        let rate = |name: &str| {
+            let id = cat.id_of(name).unwrap();
+            let rows = f.filter_rows(|y, _, p| p == id && y < 2020);
+            let pos = rows.iter().filter(|&&r| f.label[r] != 0).count() as f64;
+            pos / rows.len() as f64
+        };
+        assert!(rate("Xinjiang") > rate("Heilongjiang") + 0.02);
+    }
+
+    #[test]
+    fn missingness_injects_nans_only_in_observed_blocks() {
+        let mut cfg = GeneratorConfig::small(4000, 83);
+        cfg.missing_rate = 0.05;
+        let f = generate(&cfg);
+        let mut nan_observed = 0usize;
+        let mut total_observed = 0usize;
+        for r in 0..f.len() {
+            let row = f.row(r);
+            for idx in APPLICANT_RANGE.chain(BANK_RANGE).chain(VEHICLE_RANGE) {
+                total_observed += 1;
+                if row[idx].is_nan() {
+                    nan_observed += 1;
+                }
+            }
+            for idx in SPURIOUS_RANGE.chain(NOISE_RANGE) {
+                assert!(!row[idx].is_nan(), "platform-side blocks never go missing");
+            }
+        }
+        let rate = nan_observed as f64 / total_observed as f64;
+        assert!(
+            (0.04..0.06).contains(&rate),
+            "observed missing rate {rate} should be near 5%"
+        );
+    }
+
+    #[test]
+    fn zero_missing_rate_produces_no_nans() {
+        let f = generate(&GeneratorConfig::small(500, 83));
+        for r in 0..f.len() {
+            assert!(f.row(r).iter().all(|v| !v.is_nan()));
+        }
+    }
+
+    #[test]
+    fn chunked_stream_concatenates_to_generate() {
+        let cfg = GeneratorConfig::small(1000, 91);
+        let whole = generate(&cfg);
+        let mut stream = RecordStream::new(cfg);
+        let mut rebuilt = LoanFrame::new();
+        while let Some(chunk) = stream.next_chunk(137) {
+            rebuilt.append(&chunk).unwrap();
+        }
+        assert_eq!(whole, rebuilt);
+        assert_eq!(stream.remaining(), 0);
+        assert!(stream.next_chunk(10).is_none());
+    }
+
+    #[test]
+    fn stream_chunk_sizes_respect_request() {
+        let mut stream = RecordStream::new(GeneratorConfig::small(10, 3));
+        assert_eq!(stream.next_chunk(4).unwrap().len(), 4);
+        assert_eq!(stream.remaining(), 6);
+        assert_eq!(stream.next_chunk(100).unwrap().len(), 6);
+        assert!(stream.next_chunk(1).is_none());
+    }
+
+    #[test]
+    fn custom_year_weights_restrict_years() {
+        let cfg = GeneratorConfig {
+            rows: 2000,
+            seed: 3,
+            year_weights: vec![(2018, 1.0), (2019, 3.0)],
+            ..Default::default()
+        };
+        let f = generate(&cfg);
+        assert!(f.year.iter().all(|&y| y == 2018 || y == 2019));
+        let n2019 = f.year.iter().filter(|&&y| y == 2019).count() as f64;
+        let share = n2019 / f.len() as f64;
+        assert!(
+            (0.70..0.80).contains(&share),
+            "2019 share {share} should be ~75%"
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            #[test]
+            fn generated_metadata_is_always_in_range(
+                rows in 50usize..400,
+                seed in 0u64..50,
+                spurious in 0.0f64..2.0,
+            ) {
+                let cfg = GeneratorConfig {
+                    rows,
+                    seed,
+                    spurious_scale: spurious,
+                    ..Default::default()
+                };
+                let f = generate(&cfg);
+                prop_assert_eq!(f.len(), rows);
+                for r in 0..f.len() {
+                    prop_assert!((2016..=2020).contains(&f.year[r]));
+                    prop_assert!(f.half[r] <= 1);
+                    prop_assert!((f.province[r] as usize) < cfg.catalog.len());
+                    prop_assert!(f.vehicle[r] < 6);
+                    prop_assert!(f.label[r] <= 1);
+                    prop_assert!(f.row(r).iter().all(|v| v.is_finite()));
+                }
+            }
+
+            #[test]
+            fn stream_prefix_matches_generate_prefix(
+                rows in 20usize..200,
+                chunk in 1usize..64,
+                seed in 0u64..20,
+            ) {
+                let cfg = GeneratorConfig { rows, seed, ..Default::default() };
+                let whole = generate(&cfg);
+                let mut stream = RecordStream::new(cfg);
+                let first = stream.next_chunk(chunk).expect("rows > 0");
+                let prefix_rows: Vec<usize> = (0..first.len()).collect();
+                prop_assert_eq!(whole.select(&prefix_rows), first);
+            }
+        }
+    }
+
+    #[test]
+    fn credit_score_is_anticorrelated_with_default() {
+        let f = generate(&GeneratorConfig::small(30_000, 29));
+        let col = BANK_RANGE.start; // credit_score
+        let mut pos = (0.0, 0usize);
+        let mut neg = (0.0, 0usize);
+        for r in 0..f.len() {
+            let v = f.row(r)[col] as f64;
+            if f.label[r] != 0 {
+                pos = (pos.0 + v, pos.1 + 1);
+            } else {
+                neg = (neg.0 + v, neg.1 + 1);
+            }
+        }
+        assert!(
+            neg.0 / neg.1 as f64 > pos.0 / pos.1 as f64 + 10.0,
+            "defaulters should have visibly lower credit scores"
+        );
+    }
+}

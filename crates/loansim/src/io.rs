@@ -1,0 +1,165 @@
+//! Text interop: CSV export/import of loan frames.
+//!
+//! The binary format in [`crate::frame`] is the fast path; CSV exists so
+//! generated worlds can be inspected with standard tools or consumed by
+//! non-Rust baselines. The layout is
+//! `year,half,province,vehicle,label,<feature columns...>` with feature
+//! column names taken from the schema.
+
+use crate::frame::{FrameError, LoanFrame};
+use crate::schema::Schema;
+
+/// Serialize a frame to CSV with a schema-named header.
+pub fn to_csv(frame: &LoanFrame, schema: &Schema) -> String {
+    assert_eq!(
+        schema.len(),
+        frame.n_features(),
+        "schema width must match the frame"
+    );
+    let mut out = String::with_capacity(frame.len() * frame.n_features() * 8);
+    out.push_str("year,half,province,vehicle,label");
+    for f in schema.features() {
+        out.push(',');
+        out.push_str(&f.name);
+    }
+    out.push('\n');
+    for r in 0..frame.len() {
+        out.push_str(&format!(
+            "{},{},{},{},{}",
+            frame.year[r], frame.half[r], frame.province[r], frame.vehicle[r], frame.label[r]
+        ));
+        for &v in frame.row(r) {
+            out.push(',');
+            out.push_str(&format_f32(v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Shortest representation that round-trips an `f32` through `parse`.
+fn format_f32(v: f32) -> String {
+    let mut s = format!("{v}");
+    if s.parse::<f32>() != Ok(v) {
+        s = format!("{v:?}");
+    }
+    s
+}
+
+/// Parse a CSV produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns [`FrameError::Corrupt`] on structural problems; the feature
+/// width is inferred from the header.
+pub fn from_csv(text: &str) -> Result<LoanFrame, FrameError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(FrameError::Corrupt("missing header"))?;
+    let columns: Vec<&str> = header.split(',').collect();
+    if columns.len() < 6 || columns[..5] != ["year", "half", "province", "vehicle", "label"] {
+        return Err(FrameError::Corrupt("unexpected header"));
+    }
+    let n_features = columns.len() - 5;
+    let mut frame = LoanFrame::with_width(n_features);
+    let mut features = vec![0.0f32; n_features];
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next = || fields.next().ok_or(FrameError::Corrupt("short row"));
+        let year: u16 = parse_field(next()?)?;
+        let half: u8 = parse_field(next()?)?;
+        let province: u16 = parse_field(next()?)?;
+        let vehicle: u8 = parse_field(next()?)?;
+        let label: u8 = parse_field(next()?)?;
+        for slot in features.iter_mut() {
+            let field = fields.next().ok_or(FrameError::Corrupt("short row"))?;
+            *slot = field
+                .parse::<f32>()
+                .map_err(|_| FrameError::Corrupt("bad float"))?;
+        }
+        if fields.next().is_some() {
+            return Err(FrameError::Corrupt("long row"));
+        }
+        frame.push(&features, year, half, province, vehicle, label)?;
+    }
+    Ok(frame)
+}
+
+fn parse_field<T: std::str::FromStr>(s: &str) -> Result<T, FrameError> {
+    s.parse().map_err(|_| FrameError::Corrupt("bad integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn csv_round_trip() {
+        let frame = generate(&GeneratorConfig::small(50, 77));
+        let schema = Schema::standard();
+        let csv = to_csv(&frame, &schema);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn header_lists_schema_names() {
+        let frame = generate(&GeneratorConfig::small(2, 77));
+        let schema = Schema::standard();
+        let csv = to_csv(&frame, &schema);
+        let header = csv.lines().next().unwrap();
+        assert!(header.starts_with("year,half,province,vehicle,label,age,"));
+        assert_eq!(header.split(',').count(), 5 + schema.len());
+    }
+
+    #[test]
+    fn from_csv_rejects_bad_header() {
+        assert_eq!(
+            from_csv("a,b,c\n").unwrap_err(),
+            FrameError::Corrupt("unexpected header")
+        );
+        assert_eq!(
+            from_csv("").unwrap_err(),
+            FrameError::Corrupt("missing header")
+        );
+    }
+
+    #[test]
+    fn from_csv_rejects_ragged_rows() {
+        let csv = "year,half,province,vehicle,label,f0\n2016,0,1,2,0\n";
+        assert_eq!(from_csv(csv).unwrap_err(), FrameError::Corrupt("short row"));
+        let csv = "year,half,province,vehicle,label,f0\n2016,0,1,2,0,1.5,9.9\n";
+        assert_eq!(from_csv(csv).unwrap_err(), FrameError::Corrupt("long row"));
+    }
+
+    #[test]
+    fn from_csv_rejects_bad_numbers() {
+        let csv = "year,half,province,vehicle,label,f0\nxx,0,1,2,0,1.5\n";
+        assert_eq!(
+            from_csv(csv).unwrap_err(),
+            FrameError::Corrupt("bad integer")
+        );
+        let csv = "year,half,province,vehicle,label,f0\n2016,0,1,2,0,zz\n";
+        assert_eq!(from_csv(csv).unwrap_err(), FrameError::Corrupt("bad float"));
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let frame = crate::frame::LoanFrame::with_width(3);
+        let csv = "year,half,province,vehicle,label,a,b,c\n";
+        let back = from_csv(csv).unwrap();
+        assert_eq!(frame.len(), back.len());
+        assert_eq!(back.n_features(), 3);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_tricky_values() {
+        for v in [0.1f32, 1e-20, 3.4e38, -0.0, 123_456.79] {
+            let s = format_f32(v);
+            assert_eq!(s.parse::<f32>().unwrap(), v, "{v} via {s}");
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Province catalog: the environments of the LightMIRM paper.
+//!
+//! Each province carries the knobs the generative model needs:
+//!
+//! - a transaction-share weight per year (Guangdong's share halves in 2020,
+//!   reproducing the covariate shift of paper Fig. 10);
+//! - a base default-logit offset (provinces differ in baseline risk);
+//! - a spurious-coupling strength (how strongly the label leaks into the
+//!   spurious feature block during training years — the mechanism ERM
+//!   exploits and IRM resists);
+//! - a feature-distribution offset (underrepresented provinces such as
+//!   Xinjiang have shifted applicant profiles, paper Fig. 1);
+//! - a COVID shock applied in 2020-H1 (largest in Hubei, paper Fig. 11).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a province (index into [`ProvinceCatalog::provinces`]).
+pub type ProvinceId = u16;
+
+/// Static description of one province environment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Province {
+    /// Human-readable name, e.g. `"Guangdong"`.
+    pub name: &'static str,
+    /// Transaction-share weight for 2016–2019 (unnormalized).
+    pub weight_pre2020: f64,
+    /// Transaction-share weight for 2020 (unnormalized).
+    pub weight_2020: f64,
+    /// Base default-logit offset: positive means riskier portfolio.
+    pub base_logit: f64,
+    /// Spurious coupling γ_e during 2016–2019: the label shifts the
+    /// spurious feature block by `γ_e` standard deviations. Varies by
+    /// province, which is exactly the across-environment instability IRM
+    /// detects.
+    pub spurious_gamma: f64,
+    /// Mean offset applied to the applicant feature block (covariate shift
+    /// for underrepresented provinces).
+    pub feature_shift: f64,
+    /// Additional default-logit shock in 2020 H1 (COVID).
+    pub covid_shock_h1: f64,
+    /// Residual shock in 2020 H2 (recovery).
+    pub covid_shock_h2: f64,
+}
+
+/// The full catalog of provinces used by the simulator.
+#[derive(Debug, Clone)]
+pub struct ProvinceCatalog {
+    provinces: Vec<Province>,
+}
+
+impl ProvinceCatalog {
+    /// The default catalog: 28 provinces mirroring the paper's setting.
+    ///
+    /// Weight and risk values are synthetic but shaped to reproduce the
+    /// paper's qualitative facts: Guangdong dominant pre-2020 and halved in
+    /// 2020 (Fig. 10); Xinjiang tiny, shifted, and hard (Fig. 1); Hubei hit
+    /// by a large 2020-H1 shock that mostly recovers in H2 (Fig. 11);
+    /// Heilongjiang a low-risk, well-modelled province (Fig. 1's dark end).
+    pub fn standard() -> Self {
+        // (name, w_pre, w_2020, base_logit, gamma, feat_shift, covid_h1, covid_h2)
+        type Row = (&'static str, f64, f64, f64, f64, f64, f64, f64);
+        const P: &[Row] = &[
+            ("Guangdong", 0.140, 0.070, -0.10, 1.60, 0.00, 0.25, 0.05),
+            ("Jiangsu", 0.090, 0.100, -0.20, 1.35, 0.05, 0.20, 0.05),
+            ("Shandong", 0.080, 0.090, 0.00, 1.20, 0.00, 0.20, 0.05),
+            ("Zhejiang", 0.070, 0.080, -0.25, 1.45, 0.05, 0.20, 0.05),
+            ("Henan", 0.070, 0.080, 0.15, 1.05, -0.05, 0.25, 0.05),
+            ("Sichuan", 0.060, 0.070, 0.10, 1.00, 0.00, 0.20, 0.05),
+            ("Hebei", 0.050, 0.055, 0.10, 0.90, -0.05, 0.20, 0.05),
+            ("Hunan", 0.050, 0.055, 0.05, 1.10, 0.00, 0.25, 0.05),
+            ("Hubei", 0.050, 0.045, 0.05, 1.05, 0.00, 1.40, 0.15),
+            ("Anhui", 0.050, 0.055, 0.10, 0.85, -0.05, 0.20, 0.05),
+            ("Fujian", 0.040, 0.045, -0.15, 1.25, 0.05, 0.20, 0.05),
+            ("Shaanxi", 0.030, 0.035, 0.15, 0.70, -0.10, 0.20, 0.05),
+            ("Liaoning", 0.030, 0.030, 0.25, 0.60, -0.10, 0.20, 0.05),
+            ("Jiangxi", 0.030, 0.035, 0.10, 0.80, -0.05, 0.20, 0.05),
+            ("Guangxi", 0.030, 0.035, 0.20, 0.55, -0.10, 0.20, 0.05),
+            ("Yunnan", 0.030, 0.030, 0.25, 0.40, -0.15, 0.20, 0.05),
+            ("Shanxi", 0.020, 0.022, 0.20, 0.55, -0.10, 0.20, 0.05),
+            ("Chongqing", 0.020, 0.022, 0.05, 0.95, 0.00, 0.25, 0.05),
+            ("Guizhou", 0.020, 0.020, 0.30, 0.35, -0.15, 0.20, 0.05),
+            ("Heilongjiang", 0.020, 0.018, -0.30, 1.15, 0.05, 0.15, 0.05),
+            ("Jilin", 0.015, 0.014, 0.10, 0.65, -0.05, 0.15, 0.05),
+            ("Gansu", 0.012, 0.012, 0.35, 0.25, -0.20, 0.20, 0.05),
+            ("InnerMongolia", 0.012, 0.012, 0.20, 0.40, -0.15, 0.15, 0.05),
+            ("Tianjin", 0.010, 0.010, -0.10, 1.10, 0.05, 0.20, 0.05),
+            ("Xinjiang", 0.006, 0.006, 0.45, 0.10, -0.35, 0.20, 0.05),
+            ("Ningxia", 0.004, 0.004, 0.35, 0.15, -0.25, 0.20, 0.05),
+            ("Qinghai", 0.003, 0.003, 0.40, 0.12, -0.30, 0.20, 0.05),
+            ("Hainan", 0.003, 0.003, 0.15, 0.60, -0.10, 0.25, 0.05),
+        ];
+        let provinces = P
+            .iter()
+            .map(
+                |&(name, w_pre, w_2020, base, gamma, shift, h1, h2)| Province {
+                    name,
+                    weight_pre2020: w_pre,
+                    weight_2020: w_2020,
+                    base_logit: base,
+                    spurious_gamma: gamma,
+                    feature_shift: shift,
+                    covid_shock_h1: h1,
+                    covid_shock_h2: h2,
+                },
+            )
+            .collect();
+        ProvinceCatalog { provinces }
+    }
+
+    /// A reduced catalog with the first `n` provinces of the standard one
+    /// (weights renormalize implicitly). Useful for small tests and for
+    /// benchmark sweeps over the number of environments `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the standard catalog size.
+    pub fn truncated(n: usize) -> Self {
+        let std = Self::standard();
+        assert!(n >= 1 && n <= std.provinces.len(), "1 <= n <= 28 required");
+        ProvinceCatalog {
+            provinces: std.provinces[..n].to_vec(),
+        }
+    }
+
+    /// Number of provinces (the paper's `M`).
+    pub fn len(&self) -> usize {
+        self.provinces.len()
+    }
+
+    /// Whether the catalog is empty (never true for built-in catalogs).
+    pub fn is_empty(&self) -> bool {
+        self.provinces.is_empty()
+    }
+
+    /// All provinces in id order.
+    pub fn provinces(&self) -> &[Province] {
+        &self.provinces
+    }
+
+    /// Look up a province by id.
+    pub fn get(&self, id: ProvinceId) -> &Province {
+        &self.provinces[id as usize]
+    }
+
+    /// Find a province id by name.
+    pub fn id_of(&self, name: &str) -> Option<ProvinceId> {
+        self.provinces
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as ProvinceId)
+    }
+
+    /// Province names in id order (for reports).
+    pub fn names(&self) -> Vec<String> {
+        self.provinces.iter().map(|p| p.name.to_string()).collect()
+    }
+
+    /// Sampling weights (normalized) for the given year.
+    pub fn weights_for_year(&self, year: u16) -> Vec<f64> {
+        let raw: Vec<f64> = self
+            .provinces
+            .iter()
+            .map(|p| {
+                if year >= 2020 {
+                    p.weight_2020
+                } else {
+                    p.weight_pre2020
+                }
+            })
+            .collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+
+    /// The default-logit shock for a province in a given (year, half).
+    /// `half` is 0 for January–June, 1 for July–December.
+    pub fn covid_shock(&self, id: ProvinceId, year: u16, half: u8) -> f64 {
+        if year != 2020 {
+            return 0.0;
+        }
+        let p = self.get(id);
+        if half == 0 {
+            p.covid_shock_h1
+        } else {
+            p.covid_shock_h2
+        }
+    }
+
+    /// The spurious coupling for a province in a given year. During
+    /// training years the coupling is the province's `spurious_gamma`; in
+    /// 2020 the coupling partially collapses (channel/policy changes), and
+    /// it collapses *more* in provinces whose transaction share dropped —
+    /// the same business restructuring that halved Guangdong's share
+    /// (Fig. 10) also broke its channel correlations, which is what makes
+    /// its 2020 slice genuinely out-of-distribution (Table V).
+    pub fn spurious_gamma(&self, id: ProvinceId, year: u16) -> f64 {
+        let p = self.get(id);
+        if year >= 2020 {
+            let share_ratio = (p.weight_2020 / p.weight_pre2020).min(1.0);
+            0.60 * share_ratio * p.spurious_gamma
+        } else {
+            p.spurious_gamma
+        }
+    }
+
+    /// Half-year-aware spurious coupling: during the 2020-H1 COVID shock
+    /// the dealer/channel pipelines are disrupted in proportion to the
+    /// province's shock, collapsing the coupling further (Hubei most,
+    /// Fig. 11); H2 reverts to the year-level coupling.
+    pub fn spurious_gamma_at(&self, id: ProvinceId, year: u16, half: u8) -> f64 {
+        let base = self.spurious_gamma(id, year);
+        if year != 2020 {
+            return base;
+        }
+        let p = self.get(id);
+        if half == 0 {
+            // Channels disrupted in proportion to the province's shock.
+            base * (1.0 - (p.covid_shock_h1 / 1.5).min(0.9))
+        } else {
+            // H2: the rebound restores old channel patterns in proportion
+            // to how sharply the shock receded — Hubei's pre-pandemic
+            // correlations "roll back" (paper §IV-F1), so an ERM model
+            // shines there again while the shifted provinces stay shifted.
+            let recovery = ((p.covid_shock_h1 - p.covid_shock_h2) / 1.5).clamp(0.0, 1.0);
+            base + (p.spurious_gamma - base) * recovery
+        }
+    }
+
+    /// How much the COVID shock dilutes the *feature-dependence* of
+    /// defaults: during the shock, borrowers default for exogenous reasons,
+    /// so the risk score explains less of the outcome (a concept shift
+    /// that lowers every model's KS in the affected slice, Fig. 11).
+    /// Returns a factor in `[0, 0.5]` by which the risk term is shrunk.
+    pub fn risk_dilution(&self, id: ProvinceId, year: u16, half: u8) -> f64 {
+        if year != 2020 {
+            return 0.0;
+        }
+        let p = self.get(id);
+        let shock = if half == 0 {
+            p.covid_shock_h1
+        } else {
+            p.covid_shock_h2
+        };
+        (shock * 0.32).min(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_has_28_provinces() {
+        let c = ProvinceCatalog::standard();
+        assert_eq!(c.len(), 28);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = ProvinceCatalog::standard();
+        let mut names: Vec<_> = c.provinces().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+    }
+
+    #[test]
+    fn guangdong_share_halves_in_2020() {
+        let c = ProvinceCatalog::standard();
+        let gd = c.id_of("Guangdong").unwrap();
+        let pre = c.weights_for_year(2018)[gd as usize];
+        let post = c.weights_for_year(2020)[gd as usize];
+        assert!(
+            post < 0.6 * pre,
+            "Guangdong share should roughly halve: pre={pre:.4} post={post:.4}"
+        );
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let c = ProvinceCatalog::standard();
+        for year in [2016u16, 2019, 2020] {
+            let s: f64 = c.weights_for_year(year).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "year {year} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn xinjiang_is_underrepresented_and_shifted() {
+        let c = ProvinceCatalog::standard();
+        let xj = c.id_of("Xinjiang").unwrap();
+        let w = c.weights_for_year(2018)[xj as usize];
+        assert!(w < 0.01, "Xinjiang weight {w} should be tiny");
+        assert!(c.get(xj).feature_shift < -0.2);
+        assert!(c.get(xj).base_logit > 0.3);
+    }
+
+    #[test]
+    fn hubei_covid_shock_spikes_in_h1_recovers_in_h2() {
+        let c = ProvinceCatalog::standard();
+        let hb = c.id_of("Hubei").unwrap();
+        let h1 = c.covid_shock(hb, 2020, 0);
+        let h2 = c.covid_shock(hb, 2020, 1);
+        assert!(h1 > 1.0);
+        assert!(h2 < 0.3);
+        assert_eq!(c.covid_shock(hb, 2019, 0), 0.0);
+        // Hubei's H1 shock dwarfs everyone else's.
+        for (i, p) in c.provinces().iter().enumerate() {
+            if p.name != "Hubei" {
+                assert!(c.covid_shock(i as ProvinceId, 2020, 0) < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn spurious_coupling_collapses_in_2020() {
+        let c = ProvinceCatalog::standard();
+        for id in 0..c.len() as ProvinceId {
+            let train = c.spurious_gamma(id, 2017);
+            let test = c.spurious_gamma(id, 2020);
+            assert!(test.abs() < 0.65 * train.abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn spurious_coupling_varies_across_provinces() {
+        // IRM can only detect instability if gamma differs across envs.
+        let c = ProvinceCatalog::standard();
+        let gammas: Vec<f64> = (0..c.len() as ProvinceId)
+            .map(|id| c.spurious_gamma(id, 2017))
+            .collect();
+        let min = gammas.iter().cloned().fold(f64::MAX, f64::min);
+        let max = gammas.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 0.5, "gamma spread {min}..{max} too small");
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let c = ProvinceCatalog::truncated(5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.get(0).name, "Guangdong");
+        let s: f64 = c.weights_for_year(2018).iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= n <= 28")]
+    fn truncated_rejects_oversize() {
+        let _ = ProvinceCatalog::truncated(99);
+    }
+
+    #[test]
+    fn id_of_unknown_is_none() {
+        assert!(ProvinceCatalog::standard().id_of("Atlantis").is_none());
+    }
+}

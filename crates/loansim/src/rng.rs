@@ -1,0 +1,142 @@
+//! Small sampling utilities on top of `rand`, kept dependency-free.
+//!
+//! `rand` 0.8 without `rand_distr` only exposes uniform sampling; the
+//! generator needs Gaussians, categorical draws, and Poisson-ish counts.
+
+use rand::Rng;
+
+/// Standard normal via the Box–Muller transform.
+///
+/// Consumes two uniforms per call; simple, branch-free, and plenty fast for
+/// data generation (the generator is not the hot path).
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0) by sampling the half-open interval from the top.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample an index from unnormalized non-negative weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        !weights.is_empty() && total > 0.0,
+        "weights must be nonempty with positive sum"
+    );
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Poisson sample via Knuth's multiplication method (fine for small λ).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    debug_assert!(lambda >= 0.0);
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 1000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Numerically-stable logistic function.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn randn_is_finite() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(randn(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_matches_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let w = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[sample_weighted(&mut rng, &w)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_sampling_handles_zero_weight_entries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let idx = sample_weighted(&mut rng, &[0.0, 1.0, 0.0]);
+            assert_eq!(idx, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn weighted_sampling_rejects_empty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = sample_weighted(&mut rng, &[]);
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(&mut rng, 2.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_bounds() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!(sigmoid(-800.0) < 1e-10);
+    }
+}

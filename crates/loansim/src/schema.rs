@@ -1,0 +1,334 @@
+//! Feature schema of the synthetic loan dataset.
+//!
+//! The paper's dataset has 210-dimensional raw features drawn from three
+//! groups: basic applicant information, information from banks, and other
+//! (vehicle/contract) information. We mirror that layout with a fixed,
+//! named 210-column schema:
+//!
+//! | block | columns | content |
+//! |---|---|---|
+//! | applicant | 0..40 | age, income, employment, household, … |
+//! | bank | 40..80 | credit score, defaults, utilization, … |
+//! | vehicle | 80..110 | vehicle type/price/term/down payment, … |
+//! | spurious | 110..140 | channel/promo codes coupled to the label per province |
+//! | noise | 140..210 | pure noise (realistic irrelevant columns) |
+
+use serde::{Deserialize, Serialize};
+
+/// Total number of raw feature columns — matches the paper's 210.
+pub const NUM_FEATURES: usize = 210;
+
+/// Column ranges of each feature block.
+pub const APPLICANT_RANGE: std::ops::Range<usize> = 0..40;
+/// Bank-sourced features.
+pub const BANK_RANGE: std::ops::Range<usize> = 40..80;
+/// Vehicle/contract features.
+pub const VEHICLE_RANGE: std::ops::Range<usize> = 80..110;
+/// Spurious, province-coupled channel features.
+pub const SPURIOUS_RANGE: std::ops::Range<usize> = 110..140;
+/// Pure-noise columns.
+pub const NOISE_RANGE: std::ops::Range<usize> = 140..210;
+
+/// Semantic group of a feature column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureGroup {
+    /// Basic applicant information (age, income, …).
+    Applicant,
+    /// Information from banks (credit records, …).
+    Bank,
+    /// Vehicle and contract information.
+    Vehicle,
+    /// Channel features that are spuriously coupled to the label.
+    Spurious,
+    /// Irrelevant noise columns.
+    Noise,
+}
+
+/// Metadata for one feature column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureDef {
+    /// Column index in the raw feature matrix.
+    pub index: usize,
+    /// Column name, unique within the schema.
+    pub name: String,
+    /// Semantic group.
+    pub group: FeatureGroup,
+}
+
+/// The fixed 210-column schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    features: Vec<FeatureDef>,
+}
+
+impl Schema {
+    /// Build the standard 210-column schema.
+    pub fn standard() -> Self {
+        let mut features = Vec::with_capacity(NUM_FEATURES);
+        let named_applicant = [
+            "age",
+            "monthly_income",
+            "employment_years",
+            "num_dependents",
+            "education_level",
+            "occupation_code",
+            "marital_status",
+            "residence_type",
+            "city_tier",
+            "has_mortgage",
+        ];
+        let named_bank = [
+            "credit_score",
+            "num_past_defaults",
+            "num_credit_lines",
+            "credit_utilization",
+            "months_since_delinquency",
+            "total_debt",
+            "debt_to_income",
+            "num_credit_inquiries",
+            "savings_balance",
+            "has_credit_card",
+        ];
+        let named_vehicle = [
+            "vehicle_type",
+            "vehicle_price",
+            "down_payment_ratio",
+            "loan_term_months",
+            "is_used_vehicle",
+            "vehicle_age_years",
+            "monthly_installment",
+            "dealer_tier",
+        ];
+        for i in 0..NUM_FEATURES {
+            let (group, name) = if APPLICANT_RANGE.contains(&i) {
+                let k = i - APPLICANT_RANGE.start;
+                let name = named_applicant
+                    .get(k)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("applicant_attr_{k:02}"));
+                (FeatureGroup::Applicant, name)
+            } else if BANK_RANGE.contains(&i) {
+                let k = i - BANK_RANGE.start;
+                let name = named_bank
+                    .get(k)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("bank_attr_{k:02}"));
+                (FeatureGroup::Bank, name)
+            } else if VEHICLE_RANGE.contains(&i) {
+                let k = i - VEHICLE_RANGE.start;
+                let name = named_vehicle
+                    .get(k)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("vehicle_attr_{k:02}"));
+                (FeatureGroup::Vehicle, name)
+            } else if SPURIOUS_RANGE.contains(&i) {
+                let k = i - SPURIOUS_RANGE.start;
+                (FeatureGroup::Spurious, format!("channel_code_{k:02}"))
+            } else {
+                let k = i - NOISE_RANGE.start;
+                (FeatureGroup::Noise, format!("misc_attr_{k:02}"))
+            };
+            features.push(FeatureDef {
+                index: i,
+                name,
+                group,
+            });
+        }
+        Schema { features }
+    }
+
+    /// All feature definitions in column order.
+    pub fn features(&self) -> &[FeatureDef] {
+        &self.features
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the schema is empty (never for the standard schema).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Look up a column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.name == name)
+    }
+
+    /// Column indices belonging to a group.
+    pub fn group_indices(&self, group: FeatureGroup) -> Vec<usize> {
+        self.features
+            .iter()
+            .filter(|f| f.group == group)
+            .map(|f| f.index)
+            .collect()
+    }
+}
+
+/// Vehicle types sold on the platform; their mix drifts by year (paper
+/// Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum VehicleType {
+    Sedan = 0,
+    Suv = 1,
+    Mpv = 2,
+    TrailerTruck = 3,
+    LightTruck = 4,
+    UsedCar = 5,
+}
+
+impl VehicleType {
+    /// All vehicle types, discriminant order.
+    pub const ALL: [VehicleType; 6] = [
+        VehicleType::Sedan,
+        VehicleType::Suv,
+        VehicleType::Mpv,
+        VehicleType::TrailerTruck,
+        VehicleType::LightTruck,
+        VehicleType::UsedCar,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VehicleType::Sedan => "Sedan",
+            VehicleType::Suv => "SUV",
+            VehicleType::Mpv => "MPV",
+            VehicleType::TrailerTruck => "TrailerTruck",
+            VehicleType::LightTruck => "LightTruck",
+            VehicleType::UsedCar => "UsedCar",
+        }
+    }
+
+    /// Decode from the `u8` stored in the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range codes — frame columns are produced only by
+    /// this crate, so that indicates corruption.
+    pub fn from_code(code: u8) -> Self {
+        Self::ALL[code as usize]
+    }
+
+    /// The unnormalized mix weight of this vehicle type in a given year,
+    /// modulated by how economically developed the province is
+    /// (`develop` in roughly `[-0.4, 0.1]`, the province `feature_shift`).
+    ///
+    /// The mix drifts year over year: SUVs rise at the expense of sedans,
+    /// used cars grow in less developed provinces, and trailer trucks
+    /// concentrate in trade-heavy (developed) provinces — the patterns
+    /// paper Fig. 4 and §IV-B describe.
+    pub fn mix_weight(self, year: u16, develop: f64) -> f64 {
+        let t = (year.clamp(2015, 2020) - 2015) as f64; // 0..5
+        let w = match self {
+            VehicleType::Sedan => 0.40 - 0.03 * t,
+            VehicleType::Suv => 0.20 + 0.03 * t,
+            VehicleType::Mpv => 0.10,
+            VehicleType::TrailerTruck => 0.10 + 0.25 * (develop + 0.2).max(0.0),
+            VehicleType::LightTruck => 0.08,
+            VehicleType::UsedCar => 0.12 + 0.4 * (-develop).max(0.0) + 0.01 * t,
+        };
+        w.max(0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_210_columns() {
+        let s = Schema::standard();
+        assert_eq!(s.len(), NUM_FEATURES);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn schema_names_are_unique() {
+        let s = Schema::standard();
+        let mut names: Vec<&str> = s.features().iter().map(|f| f.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn schema_indices_are_sequential() {
+        let s = Schema::standard();
+        for (i, f) in s.features().iter().enumerate() {
+            assert_eq!(f.index, i);
+        }
+    }
+
+    #[test]
+    fn group_ranges_partition_columns() {
+        let s = Schema::standard();
+        let total: usize = [
+            FeatureGroup::Applicant,
+            FeatureGroup::Bank,
+            FeatureGroup::Vehicle,
+            FeatureGroup::Spurious,
+            FeatureGroup::Noise,
+        ]
+        .iter()
+        .map(|&g| s.group_indices(g).len())
+        .sum();
+        assert_eq!(total, NUM_FEATURES);
+        assert_eq!(s.group_indices(FeatureGroup::Spurious).len(), 30);
+        assert_eq!(s.group_indices(FeatureGroup::Noise).len(), 70);
+    }
+
+    #[test]
+    fn named_columns_resolve() {
+        let s = Schema::standard();
+        assert_eq!(s.index_of("age"), Some(0));
+        assert_eq!(s.index_of("credit_score"), Some(40));
+        assert_eq!(s.index_of("vehicle_type"), Some(80));
+        assert_eq!(s.index_of("nonexistent"), None);
+    }
+
+    #[test]
+    fn vehicle_codes_round_trip() {
+        for v in VehicleType::ALL {
+            assert_eq!(VehicleType::from_code(v as u8), v);
+        }
+    }
+
+    #[test]
+    fn suv_share_rises_and_sedan_falls() {
+        let early = VehicleType::Suv.mix_weight(2016, 0.0);
+        let late = VehicleType::Suv.mix_weight(2020, 0.0);
+        assert!(late > early);
+        let sedan_early = VehicleType::Sedan.mix_weight(2016, 0.0);
+        let sedan_late = VehicleType::Sedan.mix_weight(2020, 0.0);
+        assert!(sedan_late < sedan_early);
+    }
+
+    #[test]
+    fn trailer_trucks_concentrate_in_developed_provinces() {
+        let developed = VehicleType::TrailerTruck.mix_weight(2018, 0.05);
+        let backward = VehicleType::TrailerTruck.mix_weight(2018, -0.35);
+        assert!(developed > backward);
+    }
+
+    #[test]
+    fn used_cars_concentrate_in_less_developed_provinces() {
+        let developed = VehicleType::UsedCar.mix_weight(2018, 0.05);
+        let backward = VehicleType::UsedCar.mix_weight(2018, -0.35);
+        assert!(backward > developed);
+    }
+
+    #[test]
+    fn mix_weights_positive() {
+        for v in VehicleType::ALL {
+            for year in 2015..=2020 {
+                for &d in &[-0.4, 0.0, 0.1] {
+                    assert!(v.mix_weight(year, d) > 0.0);
+                }
+            }
+        }
+    }
+}

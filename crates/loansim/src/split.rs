@@ -1,0 +1,168 @@
+//! Train/test splitting strategies used in the paper's evaluation.
+//!
+//! - [`temporal_split`] — the paper's main setting: train on 2016–2019,
+//!   test on 2020 (covariate + concept shift between the two).
+//! - [`random_split`] — the i.i.d. setting of Table VI.
+//! - [`province_rows`], [`half_year_rows`] — slicing helpers for the
+//!   special-province analyses (Guangdong, Hubei H1/H2).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::frame::LoanFrame;
+
+/// A train/test pair of frames.
+#[derive(Debug, Clone)]
+pub struct Split {
+    pub train: LoanFrame,
+    pub test: LoanFrame,
+}
+
+/// Split by year boundary: rows with `year < test_year` train, rows with
+/// `year == test_year` test. Rows after `test_year` are dropped.
+pub fn temporal_split(frame: &LoanFrame, test_year: u16) -> Split {
+    let train_rows = frame.filter_rows(|y, _, _| y < test_year);
+    let test_rows = frame.filter_rows(|y, _, _| y == test_year);
+    Split {
+        train: frame.select(&train_rows),
+        test: frame.select(&test_rows),
+    }
+}
+
+/// Shuffle rows with the seeded RNG and split at `train_fraction`.
+///
+/// # Panics
+///
+/// Panics unless `0.0 < train_fraction < 1.0`.
+pub fn random_split(frame: &LoanFrame, train_fraction: f64, seed: u64) -> Split {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0, 1)"
+    );
+    let mut rows: Vec<usize> = (0..frame.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rows.shuffle(&mut rng);
+    let cut = ((frame.len() as f64) * train_fraction).round() as usize;
+    Split {
+        train: frame.select(&rows[..cut]),
+        test: frame.select(&rows[cut..]),
+    }
+}
+
+/// Row indices of one province.
+pub fn province_rows(frame: &LoanFrame, province: u16) -> Vec<usize> {
+    frame.filter_rows(|_, _, p| p == province)
+}
+
+/// Row indices of one `(year, half)` slice of one province.
+pub fn half_year_rows(frame: &LoanFrame, province: u16, year: u16, half: u8) -> Vec<usize> {
+    frame.filter_rows(|y, h, p| p == province && y == year && h == half)
+}
+
+/// Group row indices by province id; index `i` of the result holds the
+/// rows of province `i` (empty vectors for absent provinces).
+pub fn rows_by_province(frame: &LoanFrame, n_provinces: usize) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); n_provinces];
+    for r in 0..frame.len() {
+        let p = frame.province[r] as usize;
+        assert!(p < n_provinces, "province id {p} out of catalog range");
+        groups[p].push(r);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    fn sample() -> LoanFrame {
+        generate(&GeneratorConfig::small(5000, 31))
+    }
+
+    #[test]
+    fn temporal_split_partitions_years() {
+        let f = sample();
+        let s = temporal_split(&f, 2020);
+        assert!(s.train.year.iter().all(|&y| y < 2020));
+        assert!(s.test.year.iter().all(|&y| y == 2020));
+        assert_eq!(s.train.len() + s.test.len(), f.len());
+    }
+
+    #[test]
+    fn temporal_split_drops_future_years() {
+        let f = sample();
+        let s = temporal_split(&f, 2019);
+        assert!(s.train.year.iter().all(|&y| y < 2019));
+        assert!(s.test.year.iter().all(|&y| y == 2019));
+        assert!(s.train.len() + s.test.len() < f.len());
+    }
+
+    #[test]
+    fn random_split_sizes() {
+        let f = sample();
+        let s = random_split(&f, 0.8, 1);
+        assert_eq!(s.train.len(), 4000);
+        assert_eq!(s.test.len(), 1000);
+    }
+
+    #[test]
+    fn random_split_is_seeded() {
+        let f = sample();
+        let a = random_split(&f, 0.5, 9);
+        let b = random_split(&f, 0.5, 9);
+        assert_eq!(a.train, b.train);
+        let c = random_split(&f, 0.5, 10);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn random_split_rejects_bad_fraction() {
+        let f = sample();
+        let _ = random_split(&f, 1.0, 0);
+    }
+
+    #[test]
+    fn random_split_mixes_years() {
+        let f = sample();
+        let s = random_split(&f, 0.8, 2);
+        // i.i.d. setting: 2020 rows appear in train too.
+        assert!(s.train.year.contains(&2020));
+        assert!(s.test.year.iter().any(|&y| y < 2020));
+    }
+
+    #[test]
+    fn province_rows_filters() {
+        let f = sample();
+        let rows = province_rows(&f, 0);
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|&r| f.province[r] == 0));
+    }
+
+    #[test]
+    fn half_year_rows_filters() {
+        let f = generate(&GeneratorConfig::small(50_000, 37));
+        let rows = half_year_rows(&f, 8, 2020, 0); // Hubei H1 2020
+        assert!(!rows.is_empty());
+        for &r in &rows {
+            assert_eq!(f.province[r], 8);
+            assert_eq!(f.year[r], 2020);
+            assert_eq!(f.half[r], 0);
+        }
+    }
+
+    #[test]
+    fn rows_by_province_partitions() {
+        let f = sample();
+        let groups = rows_by_province(&f, 28);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, f.len());
+        for (pid, rows) in groups.iter().enumerate() {
+            for &r in rows {
+                assert_eq!(f.province[r] as usize, pid);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Dataset statistics backing the paper's data-analysis figures.
+//!
+//! - [`vehicle_mix_by_year`] — paper Fig. 4 (vehicle-type distribution per
+//!   year).
+//! - [`province_share_by_year`] — paper Fig. 10 (Guangdong's transaction
+//!   ratio over 2016–2020).
+//! - [`default_rate_by_province`] — context for Fig. 1.
+
+use crate::frame::LoanFrame;
+use crate::schema::VehicleType;
+
+/// Fraction of each vehicle type per year.
+///
+/// Returns `(years, mix)` where `mix[i][v]` is the share of vehicle type
+/// `v` (discriminant order) in `years[i]`. Years appear sorted; years with
+/// no rows are omitted.
+pub fn vehicle_mix_by_year(frame: &LoanFrame) -> (Vec<u16>, Vec<[f64; 6]>) {
+    let mut years: Vec<u16> = frame.year.clone();
+    years.sort_unstable();
+    years.dedup();
+    let mut mix = Vec::with_capacity(years.len());
+    for &year in &years {
+        let mut counts = [0usize; 6];
+        let mut total = 0usize;
+        for r in 0..frame.len() {
+            if frame.year[r] == year {
+                counts[frame.vehicle[r] as usize] += 1;
+                total += 1;
+            }
+        }
+        let mut shares = [0.0f64; 6];
+        for (s, &c) in shares.iter_mut().zip(&counts) {
+            *s = c as f64 / total as f64;
+        }
+        mix.push(shares);
+    }
+    (years, mix)
+}
+
+/// Share of transactions per province per year.
+///
+/// Returns `(years, share)` where `share[i][p]` is the fraction of year
+/// `years[i]`'s rows that belong to province `p`.
+pub fn province_share_by_year(frame: &LoanFrame, n_provinces: usize) -> (Vec<u16>, Vec<Vec<f64>>) {
+    let mut years: Vec<u16> = frame.year.clone();
+    years.sort_unstable();
+    years.dedup();
+    let mut out = Vec::with_capacity(years.len());
+    for &year in &years {
+        let mut counts = vec![0usize; n_provinces];
+        let mut total = 0usize;
+        for r in 0..frame.len() {
+            if frame.year[r] == year {
+                counts[frame.province[r] as usize] += 1;
+                total += 1;
+            }
+        }
+        out.push(counts.iter().map(|&c| c as f64 / total as f64).collect());
+    }
+    (years, out)
+}
+
+/// Default rate per province over the whole frame (`None` for provinces
+/// with no rows).
+pub fn default_rate_by_province(frame: &LoanFrame, n_provinces: usize) -> Vec<Option<f64>> {
+    let mut pos = vec![0usize; n_provinces];
+    let mut total = vec![0usize; n_provinces];
+    for r in 0..frame.len() {
+        let p = frame.province[r] as usize;
+        total[p] += 1;
+        if frame.label[r] != 0 {
+            pos[p] += 1;
+        }
+    }
+    pos.iter()
+        .zip(&total)
+        .map(|(&p, &t)| {
+            if t == 0 {
+                None
+            } else {
+                Some(p as f64 / t as f64)
+            }
+        })
+        .collect()
+}
+
+/// Pretty-print a vehicle mix table (used by the fig4 experiment binary).
+pub fn format_vehicle_mix(years: &[u16], mix: &[[f64; 6]]) -> String {
+    let mut s = String::from("year");
+    for v in VehicleType::ALL {
+        s.push_str(&format!("\t{}", v.name()));
+    }
+    s.push('\n');
+    for (y, row) in years.iter().zip(mix) {
+        s.push_str(&format!("{y}"));
+        for share in row {
+            s.push_str(&format!("\t{share:.3}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn vehicle_mix_rows_sum_to_one() {
+        let f = generate(&GeneratorConfig::small(20_000, 41));
+        let (years, mix) = vehicle_mix_by_year(&f);
+        assert_eq!(years, vec![2016, 2017, 2018, 2019, 2020]);
+        for row in &mix {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vehicle_mix_shows_suv_drift() {
+        let f = generate(&GeneratorConfig::small(60_000, 43));
+        let (years, mix) = vehicle_mix_by_year(&f);
+        let first = years.iter().position(|&y| y == 2016).unwrap();
+        let last = years.iter().position(|&y| y == 2020).unwrap();
+        let suv = VehicleType::Suv as usize;
+        assert!(mix[last][suv] > mix[first][suv]);
+    }
+
+    #[test]
+    fn province_share_sums_to_one() {
+        let f = generate(&GeneratorConfig::small(20_000, 47));
+        let (_, share) = province_share_by_year(&f, 28);
+        for row in &share {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn guangdong_share_drops_in_2020() {
+        let f = generate(&GeneratorConfig::small(80_000, 53));
+        let (years, share) = province_share_by_year(&f, 28);
+        let i2018 = years.iter().position(|&y| y == 2018).unwrap();
+        let i2020 = years.iter().position(|&y| y == 2020).unwrap();
+        assert!(share[i2020][0] < 0.7 * share[i2018][0]);
+    }
+
+    #[test]
+    fn default_rates_cover_all_present_provinces() {
+        let f = generate(&GeneratorConfig::small(20_000, 59));
+        let rates = default_rate_by_province(&f, 28);
+        // Big provinces must have rows at this size.
+        for r in rates.iter().take(10) {
+            assert!(r.is_some());
+        }
+        for r in rates.iter().flatten() {
+            assert!((0.0..=1.0).contains(r));
+        }
+    }
+
+    #[test]
+    fn format_vehicle_mix_is_tabular() {
+        let f = generate(&GeneratorConfig::small(5000, 61));
+        let (years, mix) = vehicle_mix_by_year(&f);
+        let s = format_vehicle_mix(&years, &mix);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), years.len() + 1);
+        assert!(lines[0].contains("SUV"));
+    }
+}

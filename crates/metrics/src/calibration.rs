@@ -1,0 +1,227 @@
+//! Probability-calibration metrics.
+//!
+//! The paper frames its fairness target as *calibration* across groups
+//! (§II-B, citing Pleiss et al.): similar false-positive behaviour across
+//! subpopulations requires comparably calibrated scores. This module
+//! provides the standard instruments: the Brier score, a binned
+//! reliability curve, and the expected calibration error (ECE).
+
+use crate::{validate, MetricError};
+
+/// One bin of a reliability curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ReliabilityBin {
+    /// Mean predicted probability of samples in the bin.
+    pub mean_predicted: f64,
+    /// Empirical positive rate of samples in the bin.
+    pub observed_rate: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// Brier score: mean squared error between predicted probabilities and
+/// binary outcomes. Lower is better; a perfectly calibrated, perfectly
+/// sharp model scores 0.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] on mismatched/empty/NaN input (single-class
+/// labels are fine — Brier is defined without both classes).
+pub fn brier_score(scores: &[f64], labels: &[u8]) -> Result<f64, MetricError> {
+    if scores.len() != labels.len() {
+        return Err(MetricError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
+    }
+    if scores.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if let Some(index) = scores.iter().position(|s| s.is_nan()) {
+        return Err(MetricError::NanScore { index });
+    }
+    let total: f64 = scores
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| (p - y as f64).powi(2))
+        .sum();
+    Ok(total / scores.len() as f64)
+}
+
+/// Equal-width reliability curve over `n_bins` bins of `[0, 1]`.
+/// Empty bins are omitted.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::auc`].
+pub fn reliability_curve(
+    scores: &[f64],
+    labels: &[u8],
+    n_bins: usize,
+) -> Result<Vec<ReliabilityBin>, MetricError> {
+    validate(scores, labels)?;
+    assert!(n_bins >= 1, "need at least one bin");
+    let mut sum_p = vec![0.0f64; n_bins];
+    let mut sum_y = vec![0.0f64; n_bins];
+    let mut count = vec![0usize; n_bins];
+    for (&p, &y) in scores.iter().zip(labels) {
+        let b = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        sum_p[b] += p;
+        sum_y[b] += y as f64;
+        count[b] += 1;
+    }
+    Ok((0..n_bins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| ReliabilityBin {
+            mean_predicted: sum_p[b] / count[b] as f64,
+            observed_rate: sum_y[b] / count[b] as f64,
+            count: count[b],
+        })
+        .collect())
+}
+
+/// Expected calibration error: the count-weighted mean absolute gap
+/// between predicted and observed rates over the reliability bins.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::auc`].
+pub fn expected_calibration_error(
+    scores: &[f64],
+    labels: &[u8],
+    n_bins: usize,
+) -> Result<f64, MetricError> {
+    let bins = reliability_curve(scores, labels, n_bins)?;
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    Ok(bins
+        .iter()
+        .map(|b| (b.mean_predicted - b.observed_rate).abs() * b.count as f64)
+        .sum::<f64>()
+        / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_perfect_predictions_score_zero() {
+        let scores = [0.0, 1.0, 1.0, 0.0];
+        let labels = [0, 1, 1, 0];
+        assert_eq!(brier_score(&scores, &labels).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn brier_uninformed_half_scores_quarter() {
+        let scores = [0.5; 4];
+        let labels = [0, 1, 0, 1];
+        assert!((brier_score(&scores, &labels).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brier_worst_case_is_one() {
+        let scores = [1.0, 0.0];
+        let labels = [0, 1];
+        assert_eq!(brier_score(&scores, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn brier_allows_single_class() {
+        assert!(brier_score(&[0.2, 0.3], &[0, 0]).is_ok());
+    }
+
+    #[test]
+    fn reliability_bins_partition_samples() {
+        let scores = [0.05, 0.15, 0.52, 0.55, 0.95, 0.99];
+        let labels = [0, 0, 1, 0, 1, 1];
+        let bins = reliability_curve(&scores, &labels, 10).unwrap();
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 6);
+        // Scores 0.52/0.55 share a bin with observed rate 0.5.
+        let mid = bins
+            .iter()
+            .find(|b| b.count == 2 && b.mean_predicted > 0.5 && b.mean_predicted < 0.6)
+            .expect("mid bin present");
+        assert!((mid.observed_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_clamps_probability_one() {
+        let scores = [1.0, 1.0];
+        let labels = [1, 0];
+        let bins = reliability_curve(&scores, &labels, 5).unwrap();
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].count, 2);
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated_bins() {
+        // Bin [0.2, 0.3): two samples at 0.25, one positive of four -> use
+        // exact match: predicted 0.25, observed 0.25 over 4 samples.
+        let scores = [0.25, 0.25, 0.25, 0.25];
+        let labels = [1, 0, 0, 0];
+        let ece = expected_calibration_error(&scores, &labels, 10).unwrap();
+        assert!(ece.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ece_detects_systematic_overconfidence() {
+        // Predicts 0.9 everywhere but only half are positive.
+        let scores = [0.9; 8];
+        let labels = [1, 0, 1, 0, 1, 0, 1, 0];
+        let ece = expected_calibration_error(&scores, &labels, 10).unwrap();
+        assert!((ece - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(brier_score(&[0.5], &[]).is_err());
+        assert!(reliability_curve(&[], &[], 5).is_err());
+        assert!(brier_score(&[f64::NAN], &[1]).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn brier_in_unit_interval(
+                data in proptest::collection::vec((0.0f64..=1.0, 0u8..=1), 1..100),
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(p, _)| p).collect();
+                let labels: Vec<u8> = data.iter().map(|&(_, y)| y).collect();
+                let b = brier_score(&scores, &labels).unwrap();
+                prop_assert!((0.0..=1.0).contains(&b));
+            }
+
+            #[test]
+            fn ece_bounded_by_one(
+                data in proptest::collection::vec((0.0f64..=1.0, 0u8..=1), 2..100)
+                    .prop_filter("both classes", |v| {
+                        v.iter().any(|&(_, y)| y == 1) && v.iter().any(|&(_, y)| y == 0)
+                    }),
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(p, _)| p).collect();
+                let labels: Vec<u8> = data.iter().map(|&(_, y)| y).collect();
+                let e = expected_calibration_error(&scores, &labels, 10).unwrap();
+                prop_assert!((0.0..=1.0).contains(&e));
+            }
+
+            #[test]
+            fn reliability_counts_sum_to_n(
+                data in proptest::collection::vec((0.0f64..=1.0, 0u8..=1), 2..100)
+                    .prop_filter("both classes", |v| {
+                        v.iter().any(|&(_, y)| y == 1) && v.iter().any(|&(_, y)| y == 0)
+                    }),
+                n_bins in 1usize..20,
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(p, _)| p).collect();
+                let labels: Vec<u8> = data.iter().map(|&(_, y)| y).collect();
+                let bins = reliability_curve(&scores, &labels, n_bins).unwrap();
+                let total: usize = bins.iter().map(|b| b.count).sum();
+                prop_assert_eq!(total, data.len());
+            }
+        }
+    }
+}

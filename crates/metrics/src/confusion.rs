@@ -1,0 +1,244 @@
+//! Thresholded confusion-matrix statistics.
+
+use crate::MetricError;
+
+/// Counts of the four confusion-matrix cells at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct Confusion {
+    /// Defaulters flagged as defaulters.
+    pub tp: u64,
+    /// Non-defaulters flagged as defaulters (good loans rejected).
+    pub fp: u64,
+    /// Non-defaulters approved.
+    pub tn: u64,
+    /// Defaulters approved (bad debt).
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tally predictions against labels with the rule
+    /// "positive when `score >= threshold`".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::LengthMismatch`] on mismatched inputs and
+    /// [`MetricError::Empty`] on empty inputs. Single-class label vectors
+    /// are fine here (rates that would divide by zero come back as `None`
+    /// from the accessors).
+    pub fn at_threshold(
+        scores: &[f64],
+        labels: &[u8],
+        threshold: f64,
+    ) -> Result<Self, MetricError> {
+        if scores.len() != labels.len() {
+            return Err(MetricError::LengthMismatch {
+                scores: scores.len(),
+                labels: labels.len(),
+            });
+        }
+        if scores.is_empty() {
+            return Err(MetricError::Empty);
+        }
+        if let Some(index) = scores.iter().position(|s| s.is_nan()) {
+            return Err(MetricError::NanScore { index });
+        }
+        let mut c = Confusion::default();
+        for (&s, &y) in scores.iter().zip(labels) {
+            match (s >= threshold, y != 0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// True positive rate (recall); `None` if there are no positives.
+    pub fn tpr(&self) -> Option<f64> {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// False positive rate; `None` if there are no negatives.
+    pub fn fpr(&self) -> Option<f64> {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Precision; `None` if nothing was predicted positive.
+    pub fn precision(&self) -> Option<f64> {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Accuracy over all samples.
+    pub fn accuracy(&self) -> f64 {
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// F1 score; `None` when precision or recall is undefined or both are 0.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.tpr()?;
+        if p + r == 0.0 {
+            None
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> Option<f64> {
+    if den == 0 {
+        None
+    } else {
+        Some(num as f64 / den as f64)
+    }
+}
+
+/// A bundle of threshold metrics for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ThresholdMetrics {
+    pub threshold: f64,
+    pub accuracy: f64,
+    pub tpr: Option<f64>,
+    pub fpr: Option<f64>,
+    pub precision: Option<f64>,
+    pub f1: Option<f64>,
+}
+
+impl ThresholdMetrics {
+    /// Evaluate all threshold metrics at once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Confusion::at_threshold`].
+    pub fn compute(scores: &[f64], labels: &[u8], threshold: f64) -> Result<Self, MetricError> {
+        let c = Confusion::at_threshold(scores, labels, threshold)?;
+        Ok(ThresholdMetrics {
+            threshold,
+            accuracy: c.accuracy(),
+            tpr: c.tpr(),
+            fpr: c.fpr(),
+            precision: c.precision(),
+            f1: c.f1(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exhaustive() {
+        let scores = [0.9, 0.8, 0.3, 0.1, 0.6];
+        let labels = [1, 0, 1, 0, 1];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5).unwrap();
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn rates_match_hand_computation() {
+        let c = Confusion {
+            tp: 2,
+            fp: 1,
+            tn: 1,
+            fn_: 1,
+        };
+        assert!((c.tpr().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.fpr().unwrap() - 0.5).abs() < 1e-12);
+        assert!((c.precision().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_rates_are_none() {
+        let c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 3,
+            fn_: 0,
+        };
+        assert!(c.tpr().is_none());
+        assert!(c.precision().is_none());
+        assert!(c.fpr().is_some());
+    }
+
+    #[test]
+    fn f1_matches_formula() {
+        let c = Confusion {
+            tp: 2,
+            fp: 1,
+            tn: 1,
+            fn_: 1,
+        };
+        let p = 2.0 / 3.0;
+        let r = 2.0 / 3.0;
+        assert!((c.f1().unwrap() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_boundary_is_ge() {
+        // A score exactly at the threshold counts as positive.
+        let c = Confusion::at_threshold(&[0.5], &[1], 0.5).unwrap();
+        assert_eq!(c.tp, 1);
+    }
+
+    #[test]
+    fn threshold_metrics_bundle() {
+        let m = ThresholdMetrics::compute(&[0.9, 0.1], &[1, 0], 0.5).unwrap();
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.tpr, Some(1.0));
+        assert_eq!(m.fpr, Some(0.0));
+    }
+
+    #[test]
+    fn single_class_is_allowed_here() {
+        let c = Confusion::at_threshold(&[0.9, 0.1], &[0, 0], 0.5).unwrap();
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 1);
+        assert!(c.tpr().is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn cells_partition_the_samples(
+                data in proptest::collection::vec((0.0f64..1.0, 0u8..=1), 1..100),
+                threshold in 0.0f64..1.0,
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(s, _)| s).collect();
+                let labels: Vec<u8> = data.iter().map(|&(_, y)| y).collect();
+                let c = Confusion::at_threshold(&scores, &labels, threshold).unwrap();
+                prop_assert_eq!(c.total() as usize, data.len());
+            }
+
+            #[test]
+            fn accuracy_in_unit_interval(
+                data in proptest::collection::vec((0.0f64..1.0, 0u8..=1), 1..100),
+                threshold in 0.0f64..1.0,
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(s, _)| s).collect();
+                let labels: Vec<u8> = data.iter().map(|&(_, y)| y).collect();
+                let c = Confusion::at_threshold(&scores, &labels, threshold).unwrap();
+                prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Distribution-drift metrics: PSI and score-distribution comparison.
+//!
+//! The paper's data analysis (§IV-B) argues covariate and concept shift
+//! between the 2016–19 training years and 2020. The population stability
+//! index (PSI) is the standard credit-risk instrument for quantifying
+//! such drift, both on feature columns and on model scores; monitoring it
+//! is how a deployed system notices that a province (e.g. Guangdong 2020)
+//! has gone out of distribution.
+
+use crate::MetricError;
+
+/// One bucket of a PSI computation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct PsiBucket {
+    /// Upper edge of the bucket (last bucket: `+∞`).
+    pub upper_edge: f64,
+    /// Share of the expected (baseline) population.
+    pub expected: f64,
+    /// Share of the actual (current) population.
+    pub actual: f64,
+    /// This bucket's PSI contribution.
+    pub contribution: f64,
+}
+
+/// Result of a PSI computation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct PsiReport {
+    /// Total PSI. Industry folklore: < 0.1 stable, 0.1–0.25 moderate
+    /// shift, > 0.25 major shift.
+    pub psi: f64,
+    /// Per-bucket breakdown.
+    pub buckets: Vec<PsiBucket>,
+}
+
+/// Population stability index between a baseline sample (`expected`) and a
+/// current sample (`actual`), using `n_buckets` baseline-quantile buckets.
+///
+/// `PSI = Σ (a_i − e_i) · ln(a_i / e_i)` over bucket shares, with empty
+/// shares floored at `1e-6` (the standard regularization).
+///
+/// # Errors
+///
+/// Returns [`MetricError::Empty`] if either sample is empty and
+/// [`MetricError::NanScore`] on NaNs.
+pub fn psi(expected: &[f64], actual: &[f64], n_buckets: usize) -> Result<PsiReport, MetricError> {
+    assert!(n_buckets >= 2, "PSI needs at least two buckets");
+    if expected.is_empty() || actual.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if let Some(index) = expected.iter().chain(actual).position(|v| v.is_nan()) {
+        return Err(MetricError::NanScore { index });
+    }
+
+    // Bucket edges at baseline quantiles.
+    let mut sorted = expected.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let mut edges: Vec<f64> = (1..n_buckets)
+        .map(|b| {
+            let q = b as f64 / n_buckets as f64;
+            let idx = ((q * sorted.len() as f64).ceil() as usize - 1).min(sorted.len() - 1);
+            sorted[idx]
+        })
+        .collect();
+    edges.dedup_by(|a, b| a == b);
+
+    let bucket_of = |v: f64| -> usize { edges.iter().position(|&e| v <= e).unwrap_or(edges.len()) };
+    let n_real_buckets = edges.len() + 1;
+    let mut exp_counts = vec![0usize; n_real_buckets];
+    let mut act_counts = vec![0usize; n_real_buckets];
+    for &v in expected {
+        exp_counts[bucket_of(v)] += 1;
+    }
+    for &v in actual {
+        act_counts[bucket_of(v)] += 1;
+    }
+
+    const FLOOR: f64 = 1e-6;
+    let mut total = 0.0;
+    let mut buckets = Vec::with_capacity(n_real_buckets);
+    for b in 0..n_real_buckets {
+        let e = (exp_counts[b] as f64 / expected.len() as f64).max(FLOOR);
+        let a = (act_counts[b] as f64 / actual.len() as f64).max(FLOOR);
+        let contribution = (a - e) * (a / e).ln();
+        total += contribution;
+        buckets.push(PsiBucket {
+            upper_edge: edges.get(b).copied().unwrap_or(f64::INFINITY),
+            expected: e,
+            actual: a,
+            contribution,
+        });
+    }
+    Ok(PsiReport {
+        psi: total,
+        buckets,
+    })
+}
+
+/// Drift verdict bands used in credit-risk model monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum DriftLevel {
+    /// PSI < 0.1 — population stable.
+    Stable,
+    /// 0.1 ≤ PSI < 0.25 — moderate shift, investigate.
+    Moderate,
+    /// PSI ≥ 0.25 — major shift, retrain/review.
+    Major,
+}
+
+impl PsiReport {
+    /// Classify the drift per the standard bands.
+    pub fn level(&self) -> DriftLevel {
+        if self.psi < 0.1 {
+            DriftLevel::Stable
+        } else if self.psi < 0.25 {
+            DriftLevel::Moderate
+        } else {
+            DriftLevel::Major
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniformish(n: usize, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 / n as f64) + offset).collect()
+    }
+
+    #[test]
+    fn identical_populations_have_zero_psi() {
+        let base = uniformish(1000, 0.0);
+        let report = psi(&base, &base, 10).unwrap();
+        assert!(report.psi.abs() < 1e-9, "psi {}", report.psi);
+        assert_eq!(report.level(), DriftLevel::Stable);
+    }
+
+    #[test]
+    fn shifted_population_registers() {
+        let base = uniformish(1000, 0.0);
+        let shifted = uniformish(1000, 0.35);
+        let report = psi(&base, &shifted, 10).unwrap();
+        assert!(report.psi > 0.25, "psi {}", report.psi);
+        assert_eq!(report.level(), DriftLevel::Major);
+    }
+
+    #[test]
+    fn small_shift_is_moderate() {
+        let base = uniformish(4000, 0.0);
+        let shifted = uniformish(4000, 0.085);
+        let report = psi(&base, &shifted, 10).unwrap();
+        assert_eq!(report.level(), DriftLevel::Moderate, "psi {}", report.psi);
+    }
+
+    #[test]
+    fn buckets_cover_both_populations() {
+        let base = uniformish(500, 0.0);
+        let actual = uniformish(300, 0.1);
+        let report = psi(&base, &actual, 8).unwrap();
+        let exp_total: f64 = report.buckets.iter().map(|b| b.expected).sum();
+        let act_total: f64 = report.buckets.iter().map(|b| b.actual).sum();
+        assert!((exp_total - 1.0).abs() < 1e-4);
+        assert!((act_total - 1.0).abs() < 1e-4);
+        assert_eq!(report.buckets.last().unwrap().upper_edge, f64::INFINITY);
+    }
+
+    #[test]
+    fn constant_baseline_collapses_to_one_bucket() {
+        let base = vec![5.0; 100];
+        let actual = vec![5.0; 50];
+        let report = psi(&base, &actual, 10).unwrap();
+        assert!(report.psi.abs() < 1e-9);
+        // One populated bucket plus the open-ended overflow bucket.
+        assert_eq!(report.buckets.len(), 2);
+        assert_eq!(report.buckets[1].actual, 1e-6);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        assert_eq!(psi(&[], &[1.0], 5).unwrap_err(), MetricError::Empty);
+        assert_eq!(psi(&[1.0], &[], 5).unwrap_err(), MetricError::Empty);
+        assert!(matches!(
+            psi(&[1.0, f64::NAN], &[1.0], 5).unwrap_err(),
+            MetricError::NanScore { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two buckets")]
+    fn rejects_single_bucket() {
+        let _ = psi(&[1.0, 2.0], &[1.0], 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn psi_is_nonnegative(
+                base in proptest::collection::vec(-10.0f64..10.0, 10..200),
+                actual in proptest::collection::vec(-10.0f64..10.0, 10..200),
+            ) {
+                // Each term (a-e)ln(a/e) >= 0.
+                let report = psi(&base, &actual, 10).unwrap();
+                prop_assert!(report.psi >= -1e-12);
+            }
+
+            #[test]
+            fn psi_symmetric_under_population_swap_direction(
+                base in proptest::collection::vec(0.0f64..1.0, 50..200),
+            ) {
+                // PSI of a population against itself is ~0 regardless of
+                // bucket count.
+                for buckets in [2usize, 5, 16] {
+                    let report = psi(&base, &base, buckets).unwrap();
+                    prop_assert!(report.psi.abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Score calibration by isotonic regression (pool-adjacent-violators).
+//!
+//! Credit-risk scores feed pricing and capital models, so platforms
+//! recalibrate model outputs against observed default rates. Isotonic
+//! regression fits the best monotone step function from scores to
+//! empirical probabilities — it can only improve calibration while
+//! preserving the ranking (AUC/KS are invariant under monotone maps).
+
+use crate::{validate, MetricError};
+
+/// A fitted monotone calibration map.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct IsotonicCalibrator {
+    /// Right edges of the calibration steps (ascending raw scores).
+    thresholds: Vec<f64>,
+    /// Calibrated probability of each step.
+    values: Vec<f64>,
+}
+
+impl IsotonicCalibrator {
+    /// Fit by pool-adjacent-violators on `(score, label)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::auc`].
+    pub fn fit(scores: &[f64], labels: &[u8]) -> Result<Self, MetricError> {
+        validate(scores, labels)?;
+        let n = scores.len();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            scores[a as usize]
+                .partial_cmp(&scores[b as usize])
+                .expect("NaN rejected by validate")
+        });
+
+        // PAV over blocks: each block keeps (mean, weight, max_score).
+        // Samples sharing a score are pooled into one initial block so the
+        // fitted map is a well-defined function of the score (ties must
+        // not straddle steps), and adjacent equal-mean blocks merge into
+        // one canonical step.
+        struct Block {
+            sum: f64,
+            weight: f64,
+            max_score: f64,
+        }
+        let mut blocks: Vec<Block> = Vec::with_capacity(n);
+        let mut i = 0usize;
+        while i < n {
+            let score = scores[idx[i] as usize];
+            let mut sum = 0.0;
+            let mut weight = 0.0;
+            while i < n && scores[idx[i] as usize] == score {
+                sum += labels[idx[i] as usize] as f64;
+                weight += 1.0;
+                i += 1;
+            }
+            blocks.push(Block {
+                sum,
+                weight,
+                max_score: score,
+            });
+            // Merge while the monotonicity constraint is violated (or the
+            // means are equal, which canonicalizes the step function).
+            while blocks.len() >= 2 {
+                let last = blocks.len() - 1;
+                let prev_mean = blocks[last - 1].sum / blocks[last - 1].weight;
+                let last_mean = blocks[last].sum / blocks[last].weight;
+                if prev_mean < last_mean {
+                    break;
+                }
+                let merged = Block {
+                    sum: blocks[last - 1].sum + blocks[last].sum,
+                    weight: blocks[last - 1].weight + blocks[last].weight,
+                    max_score: blocks[last].max_score,
+                };
+                blocks.truncate(last - 1);
+                blocks.push(merged);
+            }
+        }
+        Ok(IsotonicCalibrator {
+            thresholds: blocks.iter().map(|b| b.max_score).collect(),
+            values: blocks.iter().map(|b| b.sum / b.weight).collect(),
+        })
+    }
+
+    /// Number of monotone steps.
+    pub fn n_steps(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Map a raw score to its calibrated probability. Scores above the
+    /// last fitted threshold take the last step's value.
+    pub fn transform(&self, score: f64) -> f64 {
+        let step = self
+            .thresholds
+            .partition_point(|&t| t < score)
+            .min(self.values.len() - 1);
+        self.values[step]
+    }
+
+    /// Calibrate a batch.
+    pub fn transform_batch(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.transform(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{auc, brier_score};
+
+    /// Systematically overconfident scores: p_raw = σ-ish transform of a
+    /// true 30%-positive process.
+    fn overconfident_sample(n: usize) -> (Vec<f64>, Vec<u8>) {
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            let p_true = 0.1 + 0.4 * u;
+            let y = (((h >> 7) % 1000) as f64 / 1000.0) < p_true;
+            // Overconfident view: squash toward the extremes.
+            scores.push(if p_true > 0.3 {
+                0.7 + 0.3 * u
+            } else {
+                0.05 * u
+            });
+            labels.push(y as u8);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn output_is_monotone_in_the_input() {
+        let (s, y) = overconfident_sample(500);
+        let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+        let grid: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let out = cal.transform_batch(&grid);
+        for w in out.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn calibration_improves_brier_without_changing_auc() {
+        let (s, y) = overconfident_sample(2000);
+        let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+        let calibrated = cal.transform_batch(&s);
+        let brier_raw = brier_score(&s, &y).unwrap();
+        let brier_cal = brier_score(&calibrated, &y).unwrap();
+        assert!(
+            brier_cal < brier_raw,
+            "PAV must not worsen in-sample Brier: {brier_cal:.4} vs {brier_raw:.4}"
+        );
+        // Ranking is preserved up to ties (ties can only merge, never flip).
+        let auc_raw = auc(&s, &y).unwrap();
+        let auc_cal = auc(&calibrated, &y).unwrap();
+        assert!((auc_raw - auc_cal).abs() < 0.02);
+    }
+
+    #[test]
+    fn perfectly_separable_data_gives_two_steps() {
+        let s = [0.1, 0.2, 0.8, 0.9];
+        let y = [0, 0, 1, 1];
+        let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+        assert_eq!(cal.n_steps(), 2);
+        assert_eq!(cal.transform(0.15), 0.0);
+        assert_eq!(cal.transform(0.85), 1.0);
+    }
+
+    #[test]
+    fn anti_correlated_scores_collapse_to_one_step() {
+        // Scores perfectly inverted vs labels: PAV pools everything into
+        // the base rate.
+        let s = [0.9, 0.8, 0.2, 0.1];
+        let y = [0, 0, 1, 1];
+        let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+        assert_eq!(cal.n_steps(), 1);
+        assert!((cal.transform(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitted_values_reproduce_block_means() {
+        let s = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        let y = [0, 1, 0, 1, 1, 1];
+        let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+        // In-sample calibrated mean must equal the base rate.
+        let mean: f64 = cal.transform_batch(&s).iter().sum::<f64>() / s.len() as f64;
+        let base = y.iter().filter(|&&v| v != 0).count() as f64 / y.len() as f64;
+        assert!((mean - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_scores_share_one_step() {
+        // Three tied 0.5 scores with mixed labels must map to one pooled
+        // value, not straddle two steps.
+        let s = [0.5, 0.5, 0.5, 0.0, 0.0];
+        let y = [1, 0, 1, 0, 0];
+        let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+        assert!((cal.transform(0.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cal.transform(0.0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_scores_clamp_to_edge_steps() {
+        let s = [0.2, 0.4, 0.6, 0.8];
+        let y = [0, 0, 1, 1];
+        let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+        assert_eq!(cal.transform(-5.0), cal.transform(0.2));
+        assert_eq!(cal.transform(5.0), cal.transform(0.8));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn scored() -> impl Strategy<Value = (Vec<f64>, Vec<u8>)> {
+            proptest::collection::vec((0u8..=20, 0u8..=1), 4..120)
+                .prop_filter("both classes", |v| {
+                    v.iter().any(|&(_, y)| y == 1) && v.iter().any(|&(_, y)| y == 0)
+                })
+                .prop_map(|v| {
+                    (
+                        v.iter().map(|&(s, _)| s as f64 / 20.0).collect(),
+                        v.iter().map(|&(_, y)| y).collect(),
+                    )
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn outputs_are_probabilities_and_monotone((s, y) in scored()) {
+                let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+                let mut sorted = s.clone();
+                sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut prev = -1.0;
+                for &v in &sorted {
+                    let p = cal.transform(v);
+                    prop_assert!((0.0..=1.0).contains(&p));
+                    prop_assert!(p >= prev - 1e-12);
+                    prev = p;
+                }
+            }
+
+            #[test]
+            fn pav_never_hurts_in_sample_brier((s, y) in scored()) {
+                let cal = IsotonicCalibrator::fit(&s, &y).unwrap();
+                let calibrated = cal.transform_batch(&s);
+                let raw = brier_score(&s, &y).unwrap();
+                let fixed = brier_score(&calibrated, &y).unwrap();
+                prop_assert!(fixed <= raw + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Gini coefficient and decile lift/gain analysis — the reporting
+//! instruments credit-risk teams put beside AUC/KS in model documents.
+
+use crate::{auc, validate, MetricError};
+
+/// Gini coefficient: `2·AUC − 1`, the accuracy-ratio form used in credit
+/// scoring (1 = perfect ranking, 0 = random).
+///
+/// # Errors
+///
+/// Same conditions as [`auc`].
+pub fn gini(scores: &[f64], labels: &[u8]) -> Result<f64, MetricError> {
+    Ok(2.0 * auc(scores, labels)? - 1.0)
+}
+
+/// One row of a decile (or other quantile) lift table.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct LiftBucket {
+    /// 1-based bucket rank (1 = highest scores).
+    pub rank: usize,
+    /// Number of samples in the bucket.
+    pub count: usize,
+    /// Positives (defaults) captured in the bucket.
+    pub positives: usize,
+    /// Bucket positive rate.
+    pub rate: f64,
+    /// Lift over the base rate (`rate / base_rate`).
+    pub lift: f64,
+    /// Cumulative share of all positives captured through this bucket.
+    pub cumulative_capture: f64,
+}
+
+/// Rank samples by descending score and split them into `n_buckets`
+/// near-equal buckets; report per-bucket default rates, lift over the base
+/// rate, and the cumulative gain curve.
+///
+/// A useful model shows monotonically decreasing lift with bucket rank and
+/// a top-decile lift well above 1.
+///
+/// # Errors
+///
+/// Same conditions as [`auc`]; additionally requires
+/// `n_buckets <= n_samples`.
+pub fn lift_table(
+    scores: &[f64],
+    labels: &[u8],
+    n_buckets: usize,
+) -> Result<Vec<LiftBucket>, MetricError> {
+    validate(scores, labels)?;
+    assert!(
+        n_buckets >= 1 && n_buckets <= scores.len(),
+        "1 <= n_buckets <= n_samples required"
+    );
+    let n = scores.len();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("NaN rejected by validate")
+    });
+    let total_pos = labels.iter().filter(|&&y| y != 0).count() as f64;
+    let base_rate = total_pos / n as f64;
+
+    let mut out = Vec::with_capacity(n_buckets);
+    let mut cum_pos = 0usize;
+    let mut start = 0usize;
+    for b in 0..n_buckets {
+        // Near-equal split: bucket b covers [b*n/k, (b+1)*n/k).
+        let end = (b + 1) * n / n_buckets;
+        let bucket = &idx[start..end];
+        let positives = bucket.iter().filter(|&&r| labels[r as usize] != 0).count();
+        cum_pos += positives;
+        let count = bucket.len();
+        let rate = positives as f64 / count.max(1) as f64;
+        out.push(LiftBucket {
+            rank: b + 1,
+            count,
+            positives,
+            rate,
+            lift: rate / base_rate,
+            cumulative_capture: cum_pos as f64 / total_pos,
+        });
+        start = end;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_matches_auc_identity() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [0, 0, 1, 1];
+        let g = gini(&scores, &labels).unwrap();
+        assert!((g - (2.0 * 0.75 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_model_gini_is_one() {
+        let g = gini(&[0.1, 0.9], &[0, 1]).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lift_table_on_perfect_ranking() {
+        // 10 samples, 2 positives at the top.
+        let scores: Vec<f64> = (0..10).map(|i| 1.0 - i as f64 / 10.0).collect();
+        let mut labels = vec![0u8; 10];
+        labels[0] = 1;
+        labels[1] = 1;
+        let table = lift_table(&scores, &labels, 5).unwrap();
+        assert_eq!(table.len(), 5);
+        // Top bucket (2 samples) captures both positives: lift = 1.0/0.2 = 5.
+        assert_eq!(table[0].positives, 2);
+        assert!((table[0].lift - 5.0).abs() < 1e-12);
+        assert!((table[0].cumulative_capture - 1.0).abs() < 1e-12);
+        for b in &table[1..] {
+            assert_eq!(b.positives, 0);
+            assert!((b.cumulative_capture - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn buckets_cover_all_samples() {
+        let scores: Vec<f64> = (0..103).map(|i| (i as f64 * 0.37).sin()).collect();
+        let labels: Vec<u8> = (0..103).map(|i| (i % 3 == 0) as u8).collect();
+        let table = lift_table(&scores, &labels, 10).unwrap();
+        let total: usize = table.iter().map(|b| b.count).sum();
+        assert_eq!(total, 103);
+        let last = table.last().unwrap();
+        assert!((last.cumulative_capture - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_capture_is_monotone() {
+        let scores: Vec<f64> = (0..60).map(|i| ((i * 17) % 23) as f64).collect();
+        let labels: Vec<u8> = (0..60).map(|i| (i % 4 == 0) as u8).collect();
+        let table = lift_table(&scores, &labels, 6).unwrap();
+        for w in table.windows(2) {
+            assert!(w[1].cumulative_capture >= w[0].cumulative_capture - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n_buckets")]
+    fn too_many_buckets_rejected() {
+        let _ = lift_table(&[0.5, 0.6], &[0, 1], 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn gini_in_minus_one_to_one(
+                data in proptest::collection::vec((0u8..=10, 0u8..=1), 2..60)
+                    .prop_filter("both classes", |v| {
+                        v.iter().any(|&(_, y)| y == 1) && v.iter().any(|&(_, y)| y == 0)
+                    }),
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(s, _)| s as f64 / 10.0).collect();
+                let labels: Vec<u8> = data.iter().map(|&(_, y)| y).collect();
+                let g = gini(&scores, &labels).unwrap();
+                prop_assert!((-1.0..=1.0).contains(&g));
+            }
+
+            #[test]
+            fn lift_weighted_rates_average_to_base_rate(
+                data in proptest::collection::vec((0u8..=10, 0u8..=1), 10..80)
+                    .prop_filter("both classes", |v| {
+                        v.iter().any(|&(_, y)| y == 1) && v.iter().any(|&(_, y)| y == 0)
+                    }),
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(s, _)| s as f64 / 10.0).collect();
+                let labels: Vec<u8> = data.iter().map(|&(_, y)| y).collect();
+                let table = lift_table(&scores, &labels, 5).unwrap();
+                let n: usize = table.iter().map(|b| b.count).sum();
+                let base = labels.iter().filter(|&&y| y != 0).count() as f64 / n as f64;
+                let avg: f64 = table.iter()
+                    .map(|b| b.rate * b.count as f64)
+                    .sum::<f64>() / n as f64;
+                prop_assert!((avg - base).abs() < 1e-9);
+            }
+        }
+    }
+}

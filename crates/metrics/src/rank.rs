@@ -1,0 +1,356 @@
+//! Rank-based discrimination metrics: AUC and the Kolmogorov–Smirnov
+//! statistic.
+//!
+//! Both metrics measure how well a score separates defaulters (label 1)
+//! from non-defaulters (label 0). They are invariant under strictly
+//! increasing transformations of the score, which the property tests in
+//! this module exercise.
+
+use crate::{validate, MetricError};
+
+/// Area under the ROC curve via the Mann–Whitney U statistic.
+///
+/// Ties are handled by assigning average ranks, which corresponds to
+/// counting a tied (positive, negative) pair as half a concordant pair.
+/// Runs in `O(n log n)`.
+///
+/// # Errors
+///
+/// Returns [`MetricError`] if the inputs are mismatched, empty, contain a
+/// NaN score, or contain a single class.
+///
+/// # Examples
+///
+/// ```
+/// let scores = [0.1, 0.4, 0.35, 0.8];
+/// let labels = [0, 0, 1, 1];
+/// let auc = lightmirm_metrics::auc(&scores, &labels).unwrap();
+/// assert!((auc - 0.75).abs() < 1e-12);
+/// ```
+pub fn auc(scores: &[f64], labels: &[u8]) -> Result<f64, MetricError> {
+    validate(scores, labels)?;
+    let n = scores.len();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        scores[a as usize]
+            .partial_cmp(&scores[b as usize])
+            .expect("NaN scores rejected by validate")
+    });
+
+    // Average ranks over tie groups, accumulating the rank sum of the
+    // positive class.
+    let mut rank_sum_pos = 0.0f64;
+    let mut n_pos = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1] as usize] == scores[idx[i] as usize] {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j+1 share the average rank.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k as usize] != 0 {
+                rank_sum_pos += avg_rank;
+                n_pos += 1;
+            }
+        }
+        i = j + 1;
+    }
+    let n_neg = n - n_pos;
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Ok(u / (n_pos as f64 * n_neg as f64))
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic between the score distributions
+/// of the positive and negative classes.
+///
+/// `KS = max_t |F_pos(t) - F_neg(t)|`, the largest vertical gap between the
+/// two empirical CDFs. A higher KS means stronger risk-ranking ability —
+/// the headline metric of the paper's evaluation. Runs in `O(n log n)`.
+///
+/// # Errors
+///
+/// Same conditions as [`auc`].
+pub fn ks(scores: &[f64], labels: &[u8]) -> Result<f64, MetricError> {
+    validate(scores, labels)?;
+    Ok(ks_scan(scores, labels).0)
+}
+
+/// The KS statistic together with the full gap curve `|F_pos - F_neg|`
+/// evaluated after each distinct score, in ascending score order.
+///
+/// Returns `(ks, points)` where each point is `(score, gap)`. Useful for
+/// plotting the KS separation chart that credit-risk teams use.
+pub fn ks_curve(scores: &[f64], labels: &[u8]) -> Result<(f64, Vec<(f64, f64)>), MetricError> {
+    validate(scores, labels)?;
+    let (stat, curve) = ks_scan(scores, labels);
+    Ok((stat, curve))
+}
+
+fn ks_scan(scores: &[f64], labels: &[u8]) -> (f64, Vec<(f64, f64)>) {
+    let n = scores.len();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        scores[a as usize]
+            .partial_cmp(&scores[b as usize])
+            .expect("NaN scores rejected by validate")
+    });
+    let n_pos = labels.iter().filter(|&&y| y != 0).count() as f64;
+    let n_neg = n as f64 - n_pos;
+
+    let mut cum_pos = 0.0f64;
+    let mut cum_neg = 0.0f64;
+    let mut best = 0.0f64;
+    let mut curve = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let s = scores[idx[i] as usize];
+        // Consume the whole tie group before evaluating the CDF gap: the
+        // empirical CDFs only step at distinct score values.
+        let mut j = i;
+        loop {
+            if labels[idx[j] as usize] != 0 {
+                cum_pos += 1.0;
+            } else {
+                cum_neg += 1.0;
+            }
+            if j + 1 < n && scores[idx[j + 1] as usize] == s {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let gap = (cum_pos / n_pos - cum_neg / n_neg).abs();
+        if gap > best {
+            best = gap;
+        }
+        curve.push((s, gap));
+        i = j + 1;
+    }
+    (best, curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n^2) reference AUC: fraction of (pos, neg) pairs ranked correctly,
+    /// ties counting one half.
+    fn auc_brute(scores: &[f64], labels: &[u8]) -> f64 {
+        let mut concordant = 0.0;
+        let mut pairs = 0.0;
+        for (i, (&sp, &yp)) in scores.iter().zip(labels).enumerate() {
+            if yp == 0 {
+                continue;
+            }
+            for (j, (&sn, &yn)) in scores.iter().zip(labels).enumerate() {
+                if i == j || yn != 0 {
+                    continue;
+                }
+                pairs += 1.0;
+                if sp > sn {
+                    concordant += 1.0;
+                } else if sp == sn {
+                    concordant += 0.5;
+                }
+            }
+        }
+        concordant / pairs
+    }
+
+    /// O(n^2) reference KS: evaluate the CDF gap at every score value.
+    fn ks_brute(scores: &[f64], labels: &[u8]) -> f64 {
+        let n_pos = labels.iter().filter(|&&y| y != 0).count() as f64;
+        let n_neg = labels.len() as f64 - n_pos;
+        let mut best = 0.0f64;
+        for &t in scores {
+            let f_pos = scores
+                .iter()
+                .zip(labels)
+                .filter(|(&s, &y)| y != 0 && s <= t)
+                .count() as f64
+                / n_pos;
+            let f_neg = scores
+                .iter()
+                .zip(labels)
+                .filter(|(&s, &y)| y == 0 && s <= t)
+                .count() as f64
+                / n_neg;
+            best = best.max((f_pos - f_neg).abs());
+        }
+        best
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0, 0, 1, 1];
+        assert_eq!(auc(&scores, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn auc_perfectly_wrong() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [0, 0, 1, 1];
+        assert_eq!(auc(&scores, &labels).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn auc_all_tied_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [0, 1, 0, 1];
+        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // sklearn.metrics.roc_auc_score([0,0,1,1],[0.1,0.4,0.35,0.8]) == 0.75
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [0, 0, 1, 1];
+        assert!((auc(&scores, &labels).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_with_tie_across_classes() {
+        // One tied (pos, neg) pair out of 4 pairs: AUC = (3 + 0.5)/4 ... let's
+        // verify against brute force instead of hand arithmetic.
+        let scores = [0.3, 0.5, 0.5, 0.9];
+        let labels = [0, 0, 1, 1];
+        let fast = auc(&scores, &labels).unwrap();
+        assert!((fast - auc_brute(&scores, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_perfect_separation_is_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0, 0, 1, 1];
+        assert!((ks(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_no_separation_is_zero_when_identical() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [0, 1, 0, 1];
+        assert!(ks(&scores, &labels).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_hand_computed() {
+        // neg scores: {0.2, 0.4}, pos scores: {0.6, 0.8}; at t=0.4 the gap is
+        // |0 - 1| = 1... they separate perfectly. Use an interleaved case:
+        // neg {0.2, 0.6}, pos {0.4, 0.8}. CDF gaps after 0.2: |0-0.5|=0.5;
+        // after 0.4: |0.5-0.5|=0; after 0.6: |0.5-1|=0.5; after 0.8: 0.
+        let scores = [0.2, 0.6, 0.4, 0.8];
+        let labels = [0, 0, 1, 1];
+        assert!((ks(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_matches_brute_force_on_ties() {
+        let scores = [0.1, 0.3, 0.3, 0.3, 0.7, 0.7, 0.9];
+        let labels = [0, 0, 1, 0, 1, 0, 1];
+        let fast = ks(&scores, &labels).unwrap();
+        assert!((fast - ks_brute(&scores, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_curve_reports_max() {
+        let scores = [0.2, 0.6, 0.4, 0.8];
+        let labels = [0, 0, 1, 1];
+        let (stat, curve) = ks_curve(&scores, &labels).unwrap();
+        let max_in_curve = curve.iter().map(|&(_, g)| g).fold(0.0f64, f64::max);
+        assert!((stat - max_in_curve).abs() < 1e-12);
+        // Distinct scores => one point per score.
+        assert_eq!(curve.len(), 4);
+    }
+
+    #[test]
+    fn auc_errors_propagate() {
+        assert!(auc(&[0.1], &[1]).is_err());
+        assert!(ks(&[], &[]).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn scored_labels() -> impl Strategy<Value = (Vec<f64>, Vec<u8>)> {
+            // Generate 2..60 samples with at least one of each class, using a
+            // coarse score grid so ties actually occur.
+            proptest::collection::vec((0u8..=20, 0u8..=1), 2..60)
+                .prop_filter("need both classes", |v| {
+                    v.iter().any(|&(_, y)| y == 1) && v.iter().any(|&(_, y)| y == 0)
+                })
+                .prop_map(|v| {
+                    let scores = v.iter().map(|&(s, _)| s as f64 / 20.0).collect();
+                    let labels = v.iter().map(|&(_, y)| y).collect();
+                    (scores, labels)
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn auc_in_unit_interval((scores, labels) in scored_labels()) {
+                let a = auc(&scores, &labels).unwrap();
+                prop_assert!((0.0..=1.0).contains(&a));
+            }
+
+            #[test]
+            fn ks_in_unit_interval((scores, labels) in scored_labels()) {
+                let k = ks(&scores, &labels).unwrap();
+                prop_assert!((0.0..=1.0).contains(&k));
+            }
+
+            #[test]
+            fn auc_matches_brute_force((scores, labels) in scored_labels()) {
+                let fast = auc(&scores, &labels).unwrap();
+                let slow = auc_brute(&scores, &labels);
+                prop_assert!((fast - slow).abs() < 1e-10);
+            }
+
+            #[test]
+            fn ks_matches_brute_force((scores, labels) in scored_labels()) {
+                let fast = ks(&scores, &labels).unwrap();
+                let slow = ks_brute(&scores, &labels);
+                prop_assert!((fast - slow).abs() < 1e-10);
+            }
+
+            #[test]
+            fn auc_invariant_under_monotone_transform((scores, labels) in scored_labels()) {
+                let transformed: Vec<f64> =
+                    scores.iter().map(|&s| (3.0 * s + 1.0).exp()).collect();
+                let a = auc(&scores, &labels).unwrap();
+                let b = auc(&transformed, &labels).unwrap();
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+
+            #[test]
+            fn ks_invariant_under_monotone_transform((scores, labels) in scored_labels()) {
+                let transformed: Vec<f64> =
+                    scores.iter().map(|&s| 2.0 * s.powi(3) + s).collect();
+                let a = ks(&scores, &labels).unwrap();
+                let b = ks(&transformed, &labels).unwrap();
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+
+            #[test]
+            fn auc_flips_under_negation((scores, labels) in scored_labels()) {
+                let negated: Vec<f64> = scores.iter().map(|&s| -s).collect();
+                let a = auc(&scores, &labels).unwrap();
+                let b = auc(&negated, &labels).unwrap();
+                prop_assert!((a + b - 1.0).abs() < 1e-10);
+            }
+
+            #[test]
+            fn ks_invariant_under_negation((scores, labels) in scored_labels()) {
+                // Reversing the score order mirrors both CDFs, leaving the
+                // largest gap unchanged.
+                let negated: Vec<f64> = scores.iter().map(|&s| -s).collect();
+                let a = ks(&scores, &labels).unwrap();
+                let b = ks(&negated, &labels).unwrap();
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+}

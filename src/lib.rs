@@ -1,0 +1,41 @@
+//! `lightmirm` — umbrella crate of the LightMIRM reproduction.
+//!
+//! Re-exports the workspace's public API in one place:
+//!
+//! - [`metrics`] — AUC/KS, ROC sweeps, per-province fairness summaries;
+//! - [`data`] (crate `loansim`) — the synthetic auto-loan platform with
+//!   province environments and temporal drift;
+//! - [`gbdt`] — the LightGBM-style feature extractor;
+//! - [`autodiff`] — reverse-mode tape with double backward;
+//! - [`core`] (crate `lightmirm-core`) — the GBDT+LR pipeline and the
+//!   trainers: ERM, fine-tuning, up-sampling, Group DRO, V-REx, IRMv1,
+//!   meta-IRM, and LightMIRM.
+//!
+//! See the `examples/` directory for runnable end-to-end walkthroughs and
+//! `crates/experiments` for the per-table/per-figure regenerators.
+//!
+//! ```
+//! use lightmirm::prelude::*;
+//!
+//! let frame = lightmirm::data::generate(&lightmirm::data::GeneratorConfig::small(800, 4));
+//! let split = lightmirm::data::temporal_split(&frame, 2020);
+//! let mut fe = FeatureExtractorConfig::default();
+//! fe.gbdt.n_trees = 6;
+//! let extractor = FeatureExtractor::fit(&split.train, &fe).unwrap();
+//! assert!(extractor.n_leaf_features() > 0);
+//! ```
+
+pub use lightmirm_autodiff as autodiff;
+pub use lightmirm_core as core;
+pub use lightmirm_gbdt as gbdt;
+pub use lightmirm_metrics as metrics;
+pub use loansim as data;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use lightmirm_core::prelude::*;
+    pub use lightmirm_core::trainers::TrainConfig;
+    pub use lightmirm_gbdt::{Gbdt, GbdtConfig};
+    pub use lightmirm_metrics::{auc, ks, FairnessSummary};
+    pub use loansim::{GeneratorConfig, LoanFrame, ProvinceCatalog};
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration: the full GBDT+LR pipeline with every trainer,
+//! determinism, and the complexity contract.
+
+use lightmirm::prelude::*;
+use lightmirm_core::trainers::TrainConfig;
+
+fn small_world() -> (EnvDataset, EnvDataset) {
+    let frame = lightmirm::data::generate(&GeneratorConfig::small(12_000, 5));
+    let split = lightmirm::data::temporal_split(&frame, 2020);
+    let mut fe = FeatureExtractorConfig::default();
+    fe.gbdt.n_trees = 12;
+    let extractor = FeatureExtractor::fit(&split.train, &fe).expect("GBDT trains");
+    let names = ProvinceCatalog::standard().names();
+    (
+        extractor
+            .to_env_dataset(&split.train, names.clone(), None)
+            .expect("train transform"),
+        extractor
+            .to_env_dataset(&split.test, names, None)
+            .expect("test transform"),
+    )
+}
+
+fn meta_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        inner_lr: 0.1,
+        outer_lr: 0.3,
+        lambda: 0.5,
+        reg: 1e-4,
+        momentum: 0.0,
+        seed: 9,
+    }
+}
+
+fn erm_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        outer_lr: 0.05,
+        momentum: 0.9,
+        ..meta_config(epochs)
+    }
+}
+
+#[test]
+fn every_trainer_produces_a_scorable_model() {
+    let (train, test) = small_world();
+    let outputs: Vec<(&str, TrainOutput)> = vec![
+        ("erm", ErmTrainer::new(erm_config(20)).fit(&train, None)),
+        (
+            "finetune",
+            FineTuneTrainer::new(erm_config(20), 5, 0.05).fit(&train, None),
+        ),
+        (
+            "upsample",
+            UpSamplingTrainer::new(erm_config(20)).fit(&train, None),
+        ),
+        (
+            "dro",
+            GroupDroTrainer::new(erm_config(20), 1.0).fit(&train, None),
+        ),
+        (
+            "vrex",
+            VRexTrainer::new(erm_config(20), 2.0).fit(&train, None),
+        ),
+        (
+            "irmv1",
+            Irmv1Trainer::new(erm_config(20), 1.0).fit(&train, None),
+        ),
+        (
+            "meta",
+            MetaIrmTrainer::new(meta_config(5)).fit(&train, None),
+        ),
+        (
+            "light",
+            LightMirmTrainer::new(meta_config(5)).fit(&train, None),
+        ),
+    ];
+    for (name, out) in &outputs {
+        let summary =
+            evaluate_filtered(&out.model, &test, 20).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            summary.m_auc > 0.6,
+            "{name}: test mAUC {:.3} should beat chance clearly",
+            summary.m_auc
+        );
+        assert!(summary.w_ks >= 0.0 && summary.w_ks <= 1.0, "{name}");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let (train, test) = small_world();
+        let out = LightMirmTrainer::new(meta_config(5)).fit(&train, None);
+        let s = evaluate_filtered(&out.model, &test, 20).expect("scorable");
+        (out.model.global().weights.clone(), s.m_ks, s.w_ks)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "weights must be bit-identical across runs");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+#[test]
+fn op_counts_honour_the_papers_complexity_table() {
+    let (train, _) = small_world();
+    let m = train.active_envs().len() as u64;
+    let epochs = 3u64;
+
+    let meta = MetaIrmTrainer::new(meta_config(epochs as usize)).fit(&train, None);
+    assert_eq!(meta.ops.total(), epochs * 2 * m * m, "meta-IRM is O(2M^2)");
+
+    let light = LightMirmTrainer::new(meta_config(epochs as usize)).fit(&train, None);
+    assert_eq!(light.ops.total(), epochs * 4 * m, "LightMIRM is O(4M)");
+
+    // Both pay exactly M second-order HVPs per epoch.
+    assert_eq!(meta.ops.hvp, epochs * m);
+    assert_eq!(light.ops.hvp, epochs * m);
+}
+
+#[test]
+fn light_mirm_speedup_holds_in_wall_clock_too() {
+    let (train, _) = small_world();
+    let t0 = std::time::Instant::now();
+    let _ = MetaIrmTrainer::new(meta_config(3)).fit(&train, None);
+    let meta_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let _ = LightMirmTrainer::new(meta_config(3)).fit(&train, None);
+    let light_time = t1.elapsed();
+    assert!(
+        meta_time > 2 * light_time,
+        "meta-IRM {meta_time:?} should dwarf LightMIRM {light_time:?}"
+    );
+}
+
+#[test]
+fn trainers_cope_with_unseen_test_provinces() {
+    // Train on a frame missing some provinces entirely, evaluate on the
+    // full test set: prediction must not panic and fallback paths engage.
+    let frame = lightmirm::data::generate(&GeneratorConfig::small(8_000, 5));
+    let split = lightmirm::data::temporal_split(&frame, 2020);
+    let keep: Vec<usize> = split
+        .train
+        .filter_rows(|_, _, p| p < 6)
+        .into_iter()
+        .collect();
+    let reduced = split.train.select(&keep);
+    let mut fe = FeatureExtractorConfig::default();
+    fe.gbdt.n_trees = 8;
+    let extractor = FeatureExtractor::fit(&reduced, &fe).expect("GBDT trains");
+    let names = ProvinceCatalog::standard().names();
+    let train = extractor
+        .to_env_dataset(&reduced, names.clone(), None)
+        .expect("train transform");
+    let test = extractor
+        .to_env_dataset(&split.test, names, None)
+        .expect("test transform");
+
+    let out = FineTuneTrainer::new(erm_config(10), 3, 0.05).fit(&train, None);
+    // Test rows include provinces >= 6 never seen in training.
+    let rows = test.all_rows();
+    let scores = out.model.predict_rows(&test.x, &rows, &test.env_ids);
+    assert_eq!(scores.len(), rows.len());
+    assert!(scores
+        .iter()
+        .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+}

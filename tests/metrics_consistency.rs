@@ -1,0 +1,94 @@
+//! Cross-metric consistency on real pipeline scores: the identities and
+//! qualitative relationships a credit-risk reviewer would spot-check.
+
+use lightmirm::metrics::{
+    auc, brier_score, expected_calibration_error, gini, ks, lift_table, roc_curve,
+};
+use lightmirm::prelude::*;
+use lightmirm_core::trainers::TrainConfig;
+
+fn scored_test_set() -> (Vec<f64>, Vec<u8>) {
+    let frame = lightmirm::data::generate(&GeneratorConfig::small(15_000, 29));
+    let split = lightmirm::data::temporal_split(&frame, 2020);
+    let mut fe = FeatureExtractorConfig::default();
+    fe.gbdt.n_trees = 16;
+    let extractor = FeatureExtractor::fit(&split.train, &fe).expect("GBDT trains");
+    let names = ProvinceCatalog::standard().names();
+    let train = extractor
+        .to_env_dataset(&split.train, names.clone(), None)
+        .expect("train transform");
+    let test = extractor
+        .to_env_dataset(&split.test, names, None)
+        .expect("test transform");
+    let out = LightMirmTrainer::new(TrainConfig {
+        epochs: 30,
+        inner_lr: 0.1,
+        outer_lr: 0.3,
+        momentum: 0.0,
+        ..Default::default()
+    })
+    .fit(&train, None);
+    let rows = test.all_rows();
+    let scores = out.model.predict_rows(&test.x, &rows, &test.env_ids);
+    (scores, test.labels.clone())
+}
+
+#[test]
+fn gini_is_two_auc_minus_one_on_pipeline_scores() {
+    let (scores, labels) = scored_test_set();
+    let a = auc(&scores, &labels).expect("auc");
+    let g = gini(&scores, &labels).expect("gini");
+    assert!((g - (2.0 * a - 1.0)).abs() < 1e-12);
+    assert!(a > 0.8, "pipeline should rank well (AUC {a:.3})");
+}
+
+#[test]
+fn ks_is_attained_on_the_roc_curve() {
+    // KS equals the maximum of TPR − FPR over the ROC curve.
+    let (scores, labels) = scored_test_set();
+    let k = ks(&scores, &labels).expect("ks");
+    let best_gap = roc_curve(&scores, &labels)
+        .expect("roc")
+        .iter()
+        .map(|p| p.tpr - p.fpr)
+        .fold(f64::MIN, f64::max);
+    assert!(
+        (k - best_gap).abs() < 1e-9,
+        "KS {k:.6} must equal max ROC gap {best_gap:.6}"
+    );
+}
+
+#[test]
+fn lift_is_front_loaded_for_a_trained_model() {
+    let (scores, labels) = scored_test_set();
+    let table = lift_table(&scores, &labels, 10).expect("lift table");
+    assert!(
+        table[0].lift > 3.0,
+        "top decile should concentrate defaults (lift {:.2})",
+        table[0].lift
+    );
+    assert!(
+        table.last().expect("deciles").lift < 0.5,
+        "bottom decile should be nearly clean"
+    );
+    // Top 3 deciles should capture the majority of defaults.
+    assert!(table[2].cumulative_capture > 0.6);
+}
+
+#[test]
+fn scores_are_reasonably_calibrated() {
+    let (scores, labels) = scored_test_set();
+    let brier = brier_score(&scores, &labels).expect("brier");
+    let base_rate = labels.iter().filter(|&&y| y != 0).count() as f64 / labels.len() as f64;
+    // A useful model beats the constant-base-rate predictor's Brier score.
+    let constant_brier = base_rate * (1.0 - base_rate);
+    assert!(
+        brier < constant_brier,
+        "Brier {brier:.4} should beat the uninformed {constant_brier:.4}"
+    );
+    let ece = expected_calibration_error(&scores, &labels, 10).expect("ece");
+    assert!(
+        ece < 0.1,
+        "LR-head scores should be roughly calibrated (ECE {ece:.3})"
+    );
+}
