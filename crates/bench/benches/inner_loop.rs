@@ -1,8 +1,10 @@
 //! Microbenchmarks of the atomic operations §III-F counts: one env loss
-//! (forward), one env gradient (backward), and one Hessian-vector product.
+//! (forward), one env gradient (backward), and one Hessian-vector product
+//! — plus the fused kernel-layer variants that share a single logit pass.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lightmirm_bench::bench_dataset;
+use lightmirm_core::kernels;
 use lightmirm_core::prelude::*;
 
 fn atomic_ops(c: &mut Criterion) {
@@ -30,6 +32,65 @@ fn atomic_ops(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fused kernel layer against the separate reference passes: one
+/// physical pass for loss+gradient, and an HVP reusing cached logits.
+fn fused_kernels(c: &mut Criterion) {
+    let data = bench_dataset(20_000, 32, 5);
+    let envs = data.active_envs();
+    let biggest = *envs
+        .iter()
+        .max_by_key(|&&m| data.env_rows(m).len())
+        .expect("nonempty");
+    let rows = data.env_rows(biggest);
+    let theta = vec![0.01; data.n_cols()];
+    let v = vec![0.5; data.n_cols()];
+    let mut grad = vec![0.0; data.n_cols()];
+    let mut out = vec![0.0; data.n_cols()];
+    let mut logits = vec![0.0; rows.len()];
+
+    let mut group = c.benchmark_group("fused_kernels");
+    group.bench_function("separate_loss_then_grad", |b| {
+        b.iter(|| {
+            let l = env_loss(&theta, &data.x, &data.labels, rows, 1e-4);
+            env_grad(&theta, &data.x, &data.labels, rows, 1e-4, &mut grad);
+            l
+        })
+    });
+    group.bench_function("fused_loss_grad", |b| {
+        b.iter(|| env_loss_grad(&theta, &data.x, &data.labels, rows, 1e-4, &mut grad))
+    });
+    group.bench_function("fused_loss_grad_cached", |b| {
+        b.iter(|| {
+            env_loss_grad_cached(
+                &theta,
+                &data.x,
+                &data.labels,
+                rows,
+                1e-4,
+                &mut grad,
+                &mut logits,
+            )
+        })
+    });
+    env_loss_grad_cached(
+        &theta,
+        &data.x,
+        &data.labels,
+        rows,
+        1e-4,
+        &mut grad,
+        &mut logits,
+    );
+    group.bench_function("hvp_from_cached_logits", |b| {
+        b.iter(|| hvp_from_logits(&logits, &data.x, rows, 1e-4, &v, &mut out))
+    });
+    group.bench_function("predict_rows_batched", |b| {
+        let mut preds = vec![0.0; rows.len()];
+        b.iter(|| kernels::predict_rows_into(&theta, &data.x, rows, &mut preds))
+    });
+    group.finish();
+}
+
 fn mrq_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("mrq");
     group.bench_function("push_and_replay_l5", |b| {
@@ -44,5 +105,5 @@ fn mrq_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, atomic_ops, mrq_ops);
+criterion_group!(benches, atomic_ops, fused_kernels, mrq_ops);
 criterion_main!(benches);

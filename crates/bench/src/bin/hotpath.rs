@@ -1,0 +1,219 @@
+//! Hot-path kernel throughput harness.
+//!
+//! Measures the fused loss+gradient kernel against the separate serial
+//! reference passes, the logit-caching HVP against the recomputing one,
+//! and batched prediction — each serial (1-thread pool) and with the
+//! default thread count — then writes `results/BENCH_hotpath.json` with
+//! rows/sec, ns/row, and the resulting speedup ratios.
+//!
+//! Usage: `cargo run --release -p lightmirm-bench --bin hotpath [-- --quick]
+//! [--out path.json]`. `--quick` shrinks the dataset and repetition count
+//! for CI smoke runs; numbers from it are not meaningful, only the schema.
+
+use lightmirm_core::kernels;
+use lightmirm_core::lr;
+use lightmirm_core::prelude::*;
+use rayon::ThreadPoolBuilder;
+use serde_json::json;
+use std::time::Instant;
+
+struct Scenario {
+    rows: usize,
+    n_cols: usize,
+    nnz: usize,
+    n_envs: usize,
+    reps: usize,
+}
+
+/// Deterministic multi-hot instance, same hash family as the kernel tests.
+fn synthetic(rows: usize, n_cols: usize, nnz: usize) -> (MultiHotMatrix, Vec<u8>, Vec<f64>) {
+    let idx: Vec<u32> = (0..rows * nnz)
+        .map(|i| {
+            let h = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h % n_cols as u64) as u32
+        })
+        .collect();
+    let x = MultiHotMatrix::new(idx, nnz, n_cols).expect("well-formed synthetic matrix");
+    let labels: Vec<u8> = (0..rows).map(|i| (i % 3 == 0) as u8).collect();
+    let theta: Vec<f64> = (0..n_cols).map(|i| (i as f64) * 1e-3 - 0.25).collect();
+    (x, labels, theta)
+}
+
+/// Median wall time of `reps` runs, in seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn record(name: &str, secs: f64, rows: usize) -> serde_json::Value {
+    json!({
+        "name": name,
+        "median_secs": secs,
+        "ns_per_row": secs * 1e9 / rows as f64,
+        "rows_per_sec": rows as f64 / secs,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_hotpath.json".to_string());
+
+    let sc = if quick {
+        Scenario {
+            rows: 20_000,
+            n_cols: 256,
+            nnz: 16,
+            n_envs: 8,
+            reps: 3,
+        }
+    } else {
+        Scenario {
+            rows: 120_000,
+            n_cols: 512,
+            nnz: 32,
+            n_envs: 8,
+            reps: 7,
+        }
+    };
+
+    let (x, labels, theta) = synthetic(sc.rows, sc.n_cols, sc.nnz);
+    let rows: Vec<u32> = (0..sc.rows as u32).collect();
+    // Contiguous equal-size environment blocks, 8-env regime.
+    let env_rows: Vec<Vec<u32>> = (0..sc.n_envs)
+        .map(|e| {
+            let per = sc.rows / sc.n_envs;
+            (e * per..(e + 1) * per).map(|r| r as u32).collect()
+        })
+        .collect();
+    let v: Vec<f64> = (0..sc.n_cols).map(|i| 0.5 - (i as f64) * 1e-3).collect();
+    let reg = 1e-4;
+
+    let serial_pool = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("1-thread pool");
+    let threads = rayon::current_num_threads();
+    eprintln!(
+        "hotpath: {} rows x {} cols (nnz {}), {} reps, {} thread(s)",
+        sc.rows, sc.n_cols, sc.nnz, sc.reps, threads
+    );
+
+    let mut grad = vec![0.0; sc.n_cols];
+    let mut logits = vec![0.0; sc.rows];
+    let mut hvp = vec![0.0; sc.n_cols];
+
+    // Separate reference passes: one forward for the loss, one full
+    // recomputation of the logits for the gradient.
+    let separate = median_secs(sc.reps, || {
+        let loss = lr::env_loss(&theta, &x, &labels, &rows, reg);
+        lr::env_grad(&theta, &x, &labels, &rows, reg, &mut grad);
+        assert!(loss.is_finite());
+    });
+
+    // Fused single pass, pinned to one worker.
+    let fused_serial = median_secs(sc.reps, || {
+        serial_pool.install(|| {
+            kernels::env_loss_grad(&theta, &x, &labels, &rows, reg, &mut grad);
+        })
+    });
+
+    // Fused single pass with the default thread count (chunk-parallel).
+    let fused_parallel = median_secs(sc.reps, || {
+        kernels::env_loss_grad(&theta, &x, &labels, &rows, reg, &mut grad);
+    });
+
+    // HVP: recomputing the logits vs reusing the fused pass's cache.
+    kernels::env_loss_grad_cached(&theta, &x, &labels, &rows, reg, &mut grad, &mut logits);
+    let hvp_reference = median_secs(sc.reps, || {
+        lr::env_hvp(&theta, &x, &labels, &rows, reg, &v, &mut hvp);
+    });
+    let hvp_cached = median_secs(sc.reps, || {
+        kernels::hvp_from_logits(&logits, &x, &rows, reg, &v, &mut hvp);
+    });
+
+    // Env-parallel epoch shape: one fused pass per environment (the
+    // trainers' hot loop), serial pool vs the default thread count.
+    let mut env_grads = vec![vec![0.0; sc.n_cols]; sc.n_envs];
+    let env_epoch = |grads: &mut Vec<Vec<f64>>| {
+        use rayon::prelude::*;
+        grads.par_iter_mut().enumerate().for_each(|(i, g)| {
+            kernels::env_loss_grad(&theta, &x, &labels, &env_rows[i], reg, g);
+        });
+    };
+    let env_epoch_serial = median_secs(sc.reps, || {
+        serial_pool.install(|| env_epoch(&mut env_grads))
+    });
+    let env_epoch_parallel = median_secs(sc.reps, || env_epoch(&mut env_grads));
+
+    // Prediction: the serial per-row loop vs the chunk-parallel batch.
+    let mut preds = vec![0.0; sc.rows];
+    let predict_serial = median_secs(sc.reps, || {
+        for (p, &r) in preds.iter_mut().zip(&rows) {
+            *p = lr::sigmoid(x.dot_row(r as usize, &theta));
+        }
+    });
+    let predict_parallel = median_secs(sc.reps, || {
+        kernels::predict_rows_into(&theta, &x, &rows, &mut preds);
+    });
+
+    let report = json!({
+        "bench": "hotpath",
+        "quick": quick,
+        "hardware": json!({
+            "logical_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            "rayon_threads": threads,
+        }),
+        "dataset": json!({
+            "rows": sc.rows,
+            "n_cols": sc.n_cols,
+            "nnz_per_row": sc.nnz,
+            "n_envs": sc.n_envs,
+            "chunk_rows": CHUNK_ROWS,
+            "reps": sc.reps,
+        }),
+        "kernels": [
+            record("separate_loss_grad", separate, sc.rows),
+            record("fused_loss_grad_serial", fused_serial, sc.rows),
+            record("fused_loss_grad_parallel", fused_parallel, sc.rows),
+            record("hvp_recompute_logits", hvp_reference, sc.rows),
+            record("hvp_cached_logits", hvp_cached, sc.rows),
+            record("env_parallel_epoch_serial", env_epoch_serial, sc.rows),
+            record("env_parallel_epoch_parallel", env_epoch_parallel, sc.rows),
+            record("predict_serial", predict_serial, sc.rows),
+            record("predict_parallel", predict_parallel, sc.rows),
+        ],
+        "speedups": json!({
+            "fused_vs_separate": separate / fused_serial,
+            "parallel_vs_serial": fused_serial / fused_parallel,
+            "env_parallel_vs_serial": env_epoch_serial / env_epoch_parallel,
+            "hvp_cached_vs_recompute": hvp_reference / hvp_cached,
+            "predict_parallel_vs_serial": predict_serial / predict_parallel,
+        }),
+    });
+
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("output directory");
+    }
+    std::fs::write(&out_path, text + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+    println!(
+        "fused_vs_separate {:.3}x | parallel_vs_serial {:.3}x | hvp_cached {:.3}x | predict {:.3}x",
+        separate / fused_serial,
+        fused_serial / fused_parallel,
+        hvp_reference / hvp_cached,
+        predict_serial / predict_parallel,
+    );
+}

@@ -390,7 +390,7 @@ mod tests {
         assert!(msg.contains("6000 rows"));
 
         let msg = run_line(&format!(
-            "train --data {data} --out {model} --method lightmirm --trees 8 --epochs 5"
+            "train --data {data} --out {model} --method lightmirm --trees 8 --epochs 15"
         ))
         .unwrap();
         assert!(msg.contains("lightmirm"), "{msg}");
@@ -416,8 +416,20 @@ mod tests {
         .unwrap();
         assert!(msg.contains("score PSI: 0.0000"), "{msg}");
 
+        // Explain the riskiest loan: the top-scoring row must have at
+        // least one positive attribution driving its score up.
+        let riskiest = written
+            .lines()
+            .skip(1)
+            .max_by(|a, b| {
+                let score = |l: &str| l.rsplit(',').next().unwrap().parse::<f64>().unwrap();
+                score(a).total_cmp(&score(b))
+            })
+            .and_then(|l| l.split(',').next())
+            .unwrap()
+            .to_string();
         let msg = run_line(&format!(
-            "explain --model {model} --data {data} --row 3 --top 4"
+            "explain --model {model} --data {data} --row {riskiest} --top 4"
         ))
         .unwrap();
         assert!(msg.contains("default probability"), "{msg}");

@@ -5,6 +5,10 @@
 //! - the **multi-hot design matrix** produced by the GBDT+LR transform
 //!   ([`sparse`]) and the **logistic-regression** model with closed-form
 //!   gradients and Hessian-vector products ([`lr`]);
+//! - **fused, parallel kernels** over that matrix ([`kernels`]): a
+//!   single-pass loss+gradient, a logit-caching HVP, and fixed-chunk
+//!   ordered reductions that keep results bit-identical for any thread
+//!   count;
 //! - **environment-partitioned datasets** ([`mod@env`]);
 //! - the **trainers** of the paper's evaluation ([`trainers`]): ERM,
 //!   ERM + per-province fine-tuning, environment up-sampling, Group DRO,
@@ -49,6 +53,7 @@ pub mod bundle;
 pub mod env;
 pub mod eval;
 pub mod explain;
+pub mod kernels;
 pub mod lr;
 pub mod mrq;
 pub mod nonlinear;
@@ -65,6 +70,9 @@ pub mod prelude {
     pub use crate::env::EnvDataset;
     pub use crate::eval::{evaluate, evaluate_filtered, score_rows};
     pub use crate::explain::{explain_row, Explanation, TreeContribution};
+    pub use crate::kernels::{
+        env_loss_grad, env_loss_grad_cached, hvp_from_logits, EnvScratch, ScratchPool, CHUNK_ROWS,
+    };
     pub use crate::lr::{env_grad, env_hvp, env_loss, sigmoid, LrModel};
     pub use crate::mrq::MetaReplayQueue;
     pub use crate::nonlinear::{light_mirm_generic, EnvObjective, LinearObjective, MlpModel};

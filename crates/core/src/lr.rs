@@ -8,6 +8,10 @@
 //! outer gradient exact without a tape: the Jacobian of the inner step
 //! `θ̄ = θ − α∇R(θ)` is `I − αH(θ)`, so back-propagating a vector `u`
 //! through the inner step costs one HVP.
+//!
+//! These are the **serial reference kernels**; the trainers' hot paths
+//! run the fused, chunked-parallel equivalents in [`crate::kernels`],
+//! which are tested to match these bit-for-bit on a single chunk.
 
 use crate::sparse::MultiHotMatrix;
 use serde::{Deserialize, Serialize};
@@ -47,16 +51,17 @@ impl LrModel {
         sigmoid(self.logit(x, row))
     }
 
-    /// Default probabilities for every row.
+    /// Default probabilities for every row, batched on the parallel
+    /// scoring kernel.
     pub fn predict(&self, x: &MultiHotMatrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|r| self.predict_row(x, r)).collect()
+        let rows: Vec<u32> = (0..x.n_rows() as u32).collect();
+        self.predict_rows(x, &rows)
     }
 
-    /// Probabilities for a subset of rows, in subset order.
+    /// Probabilities for a subset of rows, in subset order, batched on
+    /// the parallel scoring kernel.
     pub fn predict_rows(&self, x: &MultiHotMatrix, rows: &[u32]) -> Vec<f64> {
-        rows.iter()
-            .map(|&r| self.predict_row(x, r as usize))
-            .collect()
+        crate::kernels::predict_rows(&self.weights, x, rows)
     }
 }
 

@@ -97,6 +97,20 @@ impl MultiHotMatrix {
         self.row(row).iter().map(|&i| weights[i as usize]).sum()
     }
 
+    /// Batch `θᵀx` over a row subset: `out[k] = dot_row(rows[k], weights)`.
+    /// One call per chunk keeps the parallel scoring kernel's inner loop
+    /// free of per-row dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != rows.len()`.
+    pub fn dot_rows_into(&self, rows: &[u32], weights: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), rows.len(), "output must match the row count");
+        for (o, &r) in out.iter_mut().zip(rows) {
+            *o = self.dot_row(r as usize, weights);
+        }
+    }
+
     /// Scatter-add `coef` into the touched weights of a row
     /// (`out += coef · x_row`).
     pub fn scatter_add(&self, row: usize, coef: f64, out: &mut [f64]) {
@@ -150,6 +164,16 @@ mod tests {
         assert_eq!(m.dot_row(0, &w), 101.0);
         assert_eq!(m.dot_row(1, &w), 1010.0);
         assert_eq!(m.dot_row(2, &w), 10100.0);
+    }
+
+    #[test]
+    fn dot_rows_into_matches_per_row_dots() {
+        let m = demo();
+        let w = [1.0, 10.0, 100.0, 1000.0, 10000.0];
+        let rows = [2u32, 0, 1];
+        let mut out = vec![0.0; 3];
+        m.dot_rows_into(&rows, &w, &mut out);
+        assert_eq!(out, vec![10100.0, 101.0, 1010.0]);
     }
 
     #[test]

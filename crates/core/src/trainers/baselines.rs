@@ -1,7 +1,15 @@
 //! ERM, ERM + per-province fine-tuning, and environment up-sampling.
+//!
+//! Gradients run on the chunked-parallel kernels of [`crate::kernels`];
+//! the up-sampling trainer additionally computes its per-environment
+//! gradients env-parallel and merges them in env order, so results are
+//! bit-identical for any thread count.
+
+use rayon::prelude::*;
 
 use crate::env::EnvDataset;
-use crate::lr::{env_grad, LrModel};
+use crate::kernels;
+use crate::lr::LrModel;
 use crate::timing::{OpCounter, Step, StepTimer};
 use crate::trainers::{
     active_envs_checked, axpy_neg, EpochObserver, TrainConfig, TrainOutput, TrainedModel,
@@ -49,7 +57,7 @@ impl ErmTrainer {
             match &batcher {
                 None => {
                     timer.time(Step::Backward, || {
-                        env_grad(
+                        kernels::env_grad(
                             &model.weights,
                             &data.x,
                             &data.labels,
@@ -65,7 +73,7 @@ impl ErmTrainer {
                 Some(batcher) => {
                     for batch in batcher.epoch(epoch) {
                         timer.time(Step::Backward, || {
-                            env_grad(
+                            kernels::env_grad(
                                 &model.weights,
                                 &data.x,
                                 &data.labels,
@@ -140,7 +148,7 @@ impl FineTuneTrainer {
             let mut model = base.clone();
             for _ in 0..self.finetune_epochs {
                 timer.time(Step::Backward, || {
-                    env_grad(
+                    kernels::env_grad(
                         &model.weights,
                         &data.x,
                         &data.labels,
@@ -186,24 +194,29 @@ impl UpSamplingTrainer {
         let m_count = envs.len() as f64;
         let mut model = LrModel::zeros(data.n_cols());
         let mut total_grad = vec![0.0; data.n_cols()];
-        let mut grad = vec![0.0; data.n_cols()];
+        // One gradient buffer per environment, reused every epoch.
+        let mut env_grads = vec![vec![0.0; data.n_cols()]; envs.len()];
         let mut momentum = crate::trainers::Momentum::new(data.n_cols(), self.config.momentum);
         for epoch in 0..self.config.epochs {
-            total_grad.fill(0.0);
-            for &m in &envs {
-                timer.time(Step::Backward, || {
-                    env_grad(
-                        &model.weights,
+            timer.time(Step::Backward, || {
+                let weights = &model.weights;
+                env_grads.par_iter_mut().enumerate().for_each(|(i, grad)| {
+                    kernels::env_grad(
+                        weights,
                         &data.x,
                         &data.labels,
-                        data.env_rows(m),
+                        data.env_rows(envs[i]),
                         self.config.reg,
-                        &mut grad,
+                        grad,
                     );
                 });
-                ops.add_forward(1);
-                ops.add_backward(1);
-                for (t, &g) in total_grad.iter_mut().zip(&grad) {
+            });
+            ops.add_forward(envs.len() as u64);
+            ops.add_backward(envs.len() as u64);
+            // Ordered merge in env order: thread-count independent.
+            total_grad.fill(0.0);
+            for grad in &env_grads {
+                for (t, &g) in total_grad.iter_mut().zip(grad) {
                     *t += g / m_count;
                 }
             }

@@ -15,13 +15,21 @@
 //! Per-iteration first-order op count: `M` (line 6) + `M` (line 7) + `M`
 //! (line 9) + `M` (line 13) = `4M`, asserted exactly in tests against
 //! meta-IRM's `2M²`.
+//!
+//! Execution: each phase runs env-parallel on the fused kernels of
+//! [`crate::kernels`] (lines 6–7 are one fused pass that also caches the
+//! logits the line-13 HVP reuses), all `s_m` are drawn up front on the
+//! serial RNG stream, and per-environment contributions merge in env
+//! order — training is bit-identical for any thread count.
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use crate::env::EnvDataset;
-use crate::lr::{env_grad, env_hvp, env_loss, LrModel};
+use crate::kernels::{self, EnvScratch, ScratchPool};
+use crate::lr::LrModel;
 use crate::mrq::MetaReplayQueue;
 use crate::timing::{OpCounter, Step, StepTimer};
 use crate::trainers::{
@@ -76,64 +84,83 @@ impl LightMirmTrainer {
             .map(|_| MetaReplayQueue::new(self.mrq_len))
             .collect();
 
-        let mut inner_grad = vec![0.0; n_cols];
-        let mut u = vec![0.0; n_cols];
-        let mut hvp_buf = vec![0.0; n_cols];
+        // Per-environment scratch (θ̄, gradients, u, HVP, logit cache),
+        // allocated once and reused every epoch.
+        let env_sizes: Vec<usize> = envs.iter().map(|&m| data.env_rows(m).len()).collect();
+        let mut pool = ScratchPool::new(n_cols, &env_sizes);
         let mut outer = vec![0.0; n_cols];
         let mut momentum = crate::trainers::Momentum::new(n_cols, self.config.momentum);
 
         for epoch in 0..self.config.epochs {
-            let mut thetas_bar: Vec<Vec<f64>> = Vec::with_capacity(envs.len());
-            let mut sampled: Vec<usize> = Vec::with_capacity(envs.len());
+            // ---- sample s_m ≠ m: line 8 ----------------------------------
+            // All draws happen up front on the single ChaCha stream, so
+            // the sampling sequence is independent of the parallel
+            // schedule below. `s_m ≠ m` is drawn directly by index shift
+            // (one uniform over the M−1 other positions) instead of a
+            // rejection loop.
+            let sampled: Vec<usize> = if envs.len() == 1 {
+                vec![envs[0]] // degenerate single-env world: self is the only option
+            } else {
+                (0..envs.len())
+                    .map(|i| {
+                        let j = rng.gen_range(0..envs.len() - 1);
+                        envs[if j >= i { j + 1 } else { j }]
+                    })
+                    .collect()
+            };
 
-            for (i, &m) in envs.iter().enumerate() {
-                // ---- inner step: lines 6–7 -----------------------------
-                timer.time(Step::InnerOptimization, || {
-                    let _inner_loss = env_loss(
-                        &model.weights,
-                        &data.x,
-                        &data.labels,
-                        data.env_rows(m),
-                        self.config.reg,
-                    );
-                    ops.add_forward(1);
-                    env_grad(
-                        &model.weights,
-                        &data.x,
-                        &data.labels,
-                        data.env_rows(m),
-                        self.config.reg,
-                        &mut inner_grad,
-                    );
-                    ops.add_backward(1);
-                    let mut bar = model.weights.clone();
-                    axpy_neg(&mut bar, self.config.inner_lr, &inner_grad);
-                    thetas_bar.push(bar);
-                });
+            // ---- inner step: lines 6–7, env-parallel --------------------
+            // One fused pass per environment yields R^m(θ) (line 6) and
+            // ∇R^m(θ) (line 7) while caching the logits the outer HVP at
+            // the same θ will reuse. The paper's accounting still charges
+            // one forward and one backward per environment.
+            timer.time(Step::InnerOptimization, || {
+                let weights = &model.weights;
+                pool.slots_mut()
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(i, slot)| {
+                        let EnvScratch {
+                            theta_bar,
+                            grad,
+                            logits,
+                            ..
+                        } = slot;
+                        let _inner_loss = kernels::env_loss_grad_cached(
+                            weights,
+                            &data.x,
+                            &data.labels,
+                            data.env_rows(envs[i]),
+                            self.config.reg,
+                            grad,
+                            logits,
+                        );
+                        theta_bar.copy_from_slice(weights);
+                        axpy_neg(theta_bar, self.config.inner_lr, grad);
+                    });
+            });
+            ops.add_forward(envs.len() as u64);
+            ops.add_backward(envs.len() as u64);
 
-                // ---- sample s_m ≠ m and replay: lines 8–10 ------------
-                let s_m = if envs.len() == 1 {
-                    m // degenerate single-env world: self is the only option
-                } else {
-                    loop {
-                        let cand = envs[rng.gen_range(0..envs.len())];
-                        if cand != m {
-                            break cand;
-                        }
-                    }
-                };
-                sampled.push(s_m);
-                timer.time(Step::MetaLoss, || {
-                    let loss = env_loss(
-                        &thetas_bar[i],
-                        &data.x,
-                        &data.labels,
-                        data.env_rows(s_m),
-                        self.config.reg,
-                    );
-                    ops.add_forward(1);
-                    queues[i].push(loss);
-                });
+            // ---- replay: lines 9–10, env-parallel -----------------------
+            let sampled_losses: Vec<f64> = timer.time(Step::MetaLoss, || {
+                pool.slots()
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, slot)| {
+                        kernels::env_loss(
+                            &slot.theta_bar,
+                            &data.x,
+                            &data.labels,
+                            data.env_rows(sampled[i]),
+                            self.config.reg,
+                        )
+                    })
+                    .collect()
+            });
+            ops.add_forward(envs.len() as u64);
+            for (queue, &loss) in queues.iter_mut().zip(&sampled_losses) {
+                queue.push(loss);
             }
 
             // R_meta per env: the decay-normalized replayed loss.
@@ -141,39 +168,57 @@ impl LightMirmTrainer {
                 queues.iter().map(|q| q.replayed_mean(self.gamma)).collect();
 
             // ---- outer update: lines 12–13 ------------------------------
+            // Gradient flows only through the newest queue entry,
+            // R^{s_m}(θ̄_m), whose weight inside the replayed mean is
+            // `newest_weight`.
             let coefs = sigma_coefficients(&meta_losses, self.config.lambda);
+            let w_news: Vec<f64> = queues.iter().map(|q| q.newest_weight(self.gamma)).collect();
+            timer.time(Step::Backward, || {
+                pool.slots_mut()
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(i, slot)| {
+                        let EnvScratch {
+                            theta_bar,
+                            u,
+                            hvp,
+                            logits,
+                            ..
+                        } = slot;
+                        kernels::env_grad(
+                            theta_bar,
+                            &data.x,
+                            &data.labels,
+                            data.env_rows(sampled[i]),
+                            self.config.reg,
+                            u,
+                        );
+                        // Chain through the inner step: u − α H_m(θ) u.
+                        // The Hessian is at θ over env m's rows — exactly
+                        // where the inner pass cached the logits.
+                        kernels::hvp_from_logits(
+                            logits,
+                            &data.x,
+                            data.env_rows(envs[i]),
+                            self.config.reg,
+                            u,
+                            hvp,
+                        );
+                        for (ui, &h) in u.iter_mut().zip(hvp.iter()) {
+                            *ui -= self.config.inner_lr * h;
+                        }
+                    });
+            });
+            ops.add_backward(envs.len() as u64);
+            ops.add_hvp(envs.len() as u64);
+            // Ordered merge: environments accumulate in env order, so the
+            // outer gradient is independent of the parallel schedule.
             outer.fill(0.0);
-            for (i, &m) in envs.iter().enumerate() {
-                timer.time(Step::Backward, || {
-                    // Gradient flows only through the newest queue entry,
-                    // R^{s_m}(θ̄_m), whose weight inside the replayed mean
-                    // is `newest_weight`.
-                    let w_new = queues[i].newest_weight(self.gamma);
-                    env_grad(
-                        &thetas_bar[i],
-                        &data.x,
-                        &data.labels,
-                        data.env_rows(sampled[i]),
-                        self.config.reg,
-                        &mut u,
-                    );
-                    ops.add_backward(1);
-                    // Chain through the inner step: u − α H_m(θ) u.
-                    env_hvp(
-                        &model.weights,
-                        &data.x,
-                        &data.labels,
-                        data.env_rows(m),
-                        self.config.reg,
-                        &u,
-                        &mut hvp_buf,
-                    );
-                    ops.add_hvp(1);
-                    let scale = coefs[i] * w_new;
-                    for ((o, &ui), &h) in outer.iter_mut().zip(&u).zip(&hvp_buf) {
-                        *o += scale * (ui - self.config.inner_lr * h);
-                    }
-                });
+            for (i, slot) in pool.slots().iter().enumerate() {
+                let scale = coefs[i] * w_news[i];
+                for (o, &ui) in outer.iter_mut().zip(&slot.u) {
+                    *o += scale * ui;
+                }
             }
             momentum.step(&mut model.weights, self.config.outer_lr, &outer);
             if let Some(obs) = observer.as_mut() {

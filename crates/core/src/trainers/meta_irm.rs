@@ -20,9 +20,11 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use crate::env::EnvDataset;
-use crate::lr::{env_grad, env_hvp, env_loss, LrModel};
+use crate::kernels::{self, EnvScratch, ScratchPool};
+use crate::lr::LrModel;
 use crate::timing::{OpCounter, Step, StepTimer};
 use crate::trainers::{
     active_envs_checked, axpy_neg, sigma_coefficients, EpochObserver, TrainConfig, TrainOutput,
@@ -100,125 +102,151 @@ impl MetaIrmTrainer {
             _ => None,
         };
 
-        // Reusable buffers (all length n_cols).
-        let mut inner_grad = vec![0.0; n_cols];
-        let mut grad_buf = vec![0.0; n_cols];
-        let mut u = vec![0.0; n_cols];
-        let mut hvp_buf = vec![0.0; n_cols];
+        // Per-environment scratch (θ̄, gradients, u, HVP, logit cache),
+        // allocated once and reused every epoch.
+        let env_sizes: Vec<usize> = envs.iter().map(|&m| data.env_rows(m).len()).collect();
+        let mut pool = ScratchPool::new(n_cols, &env_sizes);
         let mut outer = vec![0.0; n_cols];
         let mut momentum = crate::trainers::Momentum::new(n_cols, self.config.momentum);
 
         for epoch in 0..self.config.epochs {
-            let mut thetas_bar: Vec<Vec<f64>> = Vec::with_capacity(envs.len());
-            // ---- inner loop: lines 5–7 --------------------------------
-            for &m in &envs {
-                timer.time(Step::InnerOptimization, || {
-                    // Line 6 computes R^m(θ); one forward op.
-                    let _inner_loss = env_loss(
-                        &model.weights,
-                        &data.x,
-                        &data.labels,
-                        data.env_rows(m),
-                        self.config.reg,
-                    );
-                    ops.add_forward(1);
-                    // Line 7: θ̄_m = θ − α ∇R^m(θ); one backward op.
-                    env_grad(
-                        &model.weights,
-                        &data.x,
-                        &data.labels,
-                        data.env_rows(m),
-                        self.config.reg,
-                        &mut inner_grad,
-                    );
-                    ops.add_backward(1);
-                    let mut bar = model.weights.clone();
-                    axpy_neg(&mut bar, self.config.inner_lr, &inner_grad);
-                    thetas_bar.push(bar);
-                });
-            }
-
-            // ---- meta-losses: line 8 -----------------------------------
             // others[i] = environments included in R_meta(θ̄_{envs[i]}).
-            let mut others: Vec<Vec<usize>> = Vec::with_capacity(envs.len());
-            let mut meta_losses: Vec<f64> = Vec::with_capacity(envs.len());
-            for (i, &m) in envs.iter().enumerate() {
-                let chosen: Vec<usize> = if let Some(pool) = &fixed_pool {
-                    let subset: Vec<usize> = pool.iter().copied().filter(|&e| e != m).collect();
-                    subset
-                } else {
-                    let mut pool: Vec<usize> = envs.iter().copied().filter(|&e| e != m).collect();
-                    match self.sample_size {
-                        Some(s) if s < pool.len() => {
-                            pool.shuffle(&mut rng);
-                            pool.truncate(s);
-                            pool
+            // Subsets are drawn up front on the serial RNG stream (in the
+            // same per-env order as before), keeping the draw sequence
+            // independent of the parallel schedule.
+            let others: Vec<Vec<usize>> = envs
+                .iter()
+                .map(|&m| {
+                    if let Some(pool) = &fixed_pool {
+                        pool.iter().copied().filter(|&e| e != m).collect()
+                    } else {
+                        let mut pool: Vec<usize> =
+                            envs.iter().copied().filter(|&e| e != m).collect();
+                        match self.sample_size {
+                            Some(s) if s < pool.len() => {
+                                pool.shuffle(&mut rng);
+                                pool.truncate(s);
+                                pool
+                            }
+                            _ => pool,
                         }
-                        _ => pool,
                     }
-                };
-                let loss = timer.time(Step::MetaLoss, || {
-                    let sum: f64 = chosen
-                        .iter()
-                        .map(|&e| {
-                            env_loss(
-                                &thetas_bar[i],
+                })
+                .collect();
+
+            // ---- inner loop: lines 5–7, env-parallel -------------------
+            // One fused pass per environment computes R^m(θ) (line 6, one
+            // forward op) together with ∇R^m(θ) (line 7, one backward op),
+            // caching the logits the line-10 HVP at the same θ reuses.
+            timer.time(Step::InnerOptimization, || {
+                let weights = &model.weights;
+                pool.slots_mut()
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(i, slot)| {
+                        let EnvScratch {
+                            theta_bar,
+                            grad,
+                            logits,
+                            ..
+                        } = slot;
+                        let _inner_loss = kernels::env_loss_grad_cached(
+                            weights,
+                            &data.x,
+                            &data.labels,
+                            data.env_rows(envs[i]),
+                            self.config.reg,
+                            grad,
+                            logits,
+                        );
+                        theta_bar.copy_from_slice(weights);
+                        axpy_neg(theta_bar, self.config.inner_lr, grad);
+                    });
+            });
+            ops.add_forward(envs.len() as u64);
+            ops.add_backward(envs.len() as u64);
+
+            // ---- meta-losses: line 8, env-parallel ----------------------
+            let meta_losses: Vec<f64> = timer.time(Step::MetaLoss, || {
+                pool.slots()
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, slot)| {
+                        let sum: f64 = others[i]
+                            .iter()
+                            .map(|&e| {
+                                kernels::env_loss(
+                                    &slot.theta_bar,
+                                    &data.x,
+                                    &data.labels,
+                                    data.env_rows(e),
+                                    self.config.reg,
+                                )
+                            })
+                            .sum();
+                        sum / others[i].len().max(1) as f64
+                    })
+                    .collect()
+            });
+            ops.add_forward(others.iter().map(|o| o.len() as u64).sum());
+
+            // ---- outer update: lines 10–11 ------------------------------
+            let coefs = sigma_coefficients(&meta_losses, self.config.lambda);
+            timer.time(Step::Backward, || {
+                pool.slots_mut()
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(i, slot)| {
+                        let EnvScratch {
+                            theta_bar,
+                            grad,
+                            u,
+                            hvp,
+                            logits,
+                        } = slot;
+                        // u = ∇_{θ̄} R_meta(θ̄_m): mean of env gradients at θ̄_m.
+                        u.fill(0.0);
+                        let k = others[i].len().max(1) as f64;
+                        for &e in &others[i] {
+                            kernels::env_grad(
+                                theta_bar,
                                 &data.x,
                                 &data.labels,
                                 data.env_rows(e),
                                 self.config.reg,
-                            )
-                        })
-                        .sum();
-                    ops.add_forward(chosen.len() as u64);
-                    sum / chosen.len().max(1) as f64
-                });
-                meta_losses.push(loss);
-                others.push(chosen);
+                                grad,
+                            );
+                            for (ui, &g) in u.iter_mut().zip(grad.iter()) {
+                                *ui += g / k;
+                            }
+                        }
+                        // Chain through the inner step: Jᵀu = u − α H_m(θ) u.
+                        if !self.first_order {
+                            kernels::hvp_from_logits(
+                                logits,
+                                &data.x,
+                                data.env_rows(envs[i]),
+                                self.config.reg,
+                                u,
+                                hvp,
+                            );
+                            for (ui, &h) in u.iter_mut().zip(hvp.iter()) {
+                                *ui -= self.config.inner_lr * h;
+                            }
+                        }
+                    });
+            });
+            ops.add_backward(others.iter().map(|o| o.len() as u64).sum());
+            if !self.first_order {
+                ops.add_hvp(envs.len() as u64);
             }
-
-            // ---- outer update: lines 10–11 ------------------------------
-            let coefs = sigma_coefficients(&meta_losses, self.config.lambda);
+            // Ordered merge: environments accumulate in env order, so the
+            // outer gradient is independent of the parallel schedule.
             outer.fill(0.0);
-            for (i, &m) in envs.iter().enumerate() {
-                timer.time(Step::Backward, || {
-                    // u = ∇_{θ̄} R_meta(θ̄_m): mean of env gradients at θ̄_m.
-                    u.fill(0.0);
-                    let k = others[i].len().max(1) as f64;
-                    for &e in &others[i] {
-                        env_grad(
-                            &thetas_bar[i],
-                            &data.x,
-                            &data.labels,
-                            data.env_rows(e),
-                            self.config.reg,
-                            &mut grad_buf,
-                        );
-                        ops.add_backward(1);
-                        for (ui, &g) in u.iter_mut().zip(&grad_buf) {
-                            *ui += g / k;
-                        }
-                    }
-                    // Chain through the inner step: Jᵀu = u − α H_m(θ) u.
-                    if !self.first_order {
-                        env_hvp(
-                            &model.weights,
-                            &data.x,
-                            &data.labels,
-                            data.env_rows(m),
-                            self.config.reg,
-                            &u,
-                            &mut hvp_buf,
-                        );
-                        ops.add_hvp(1);
-                        for (ui, &h) in u.iter_mut().zip(&hvp_buf) {
-                            *ui -= self.config.inner_lr * h;
-                        }
-                    }
-                    for (o, &ui) in outer.iter_mut().zip(&u) {
-                        *o += coefs[i] * ui;
-                    }
-                });
+            for (i, slot) in pool.slots().iter().enumerate() {
+                for (o, &ui) in outer.iter_mut().zip(&slot.u) {
+                    *o += coefs[i] * ui;
+                }
             }
             momentum.step(&mut model.weights, self.config.outer_lr, &outer);
             if let Some(obs) = observer.as_mut() {
@@ -237,6 +265,7 @@ impl MetaIrmTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lr::{env_grad, env_loss};
     use crate::sparse::MultiHotMatrix;
 
     /// Three environments. Column 0/1 carry the *invariant* signal (same

@@ -1,10 +1,18 @@
 //! Robustness baselines: Group DRO, V-REx, and IRMv1.
+//!
+//! Group DRO and V-REx both need every environment's loss *and* gradient at
+//! the same `θ` each epoch, so they run one fused
+//! [`kernels::env_loss_grad`] pass per environment — environments in
+//! parallel — and then apply their per-environment coefficients in a serial
+//! env-order merge, keeping results bit-identical for any thread count.
 
 use crate::env::EnvDataset;
-use crate::lr::{env_grad, env_loss, sigmoid, LrModel};
+use crate::kernels;
+use crate::lr::{env_loss, sigmoid, LrModel};
 use crate::sparse::MultiHotMatrix;
 use crate::timing::{OpCounter, Step, StepTimer};
 use crate::trainers::{active_envs_checked, EpochObserver, TrainConfig, TrainOutput, TrainedModel};
+use rayon::prelude::*;
 
 /// Group Distributionally Robust Optimization (Sagawa et al.):
 /// exponentiated-gradient ascent on group weights `q`, descent on the
@@ -29,48 +37,45 @@ impl GroupDroTrainer {
         let envs = active_envs_checked(data);
         let mut model = LrModel::zeros(data.n_cols());
         let mut q = vec![1.0 / envs.len() as f64; envs.len()];
-        let mut grad = vec![0.0; data.n_cols()];
+        // Per-environment (loss, gradient) slots, reused every epoch.
+        let mut env_state: Vec<(f64, Vec<f64>)> = envs
+            .iter()
+            .map(|_| (0.0, vec![0.0; data.n_cols()]))
+            .collect();
         let mut weighted = vec![0.0; data.n_cols()];
         let mut momentum = crate::trainers::Momentum::new(data.n_cols(), self.config.momentum);
         for epoch in 0..self.config.epochs {
-            // Ascent on q: q_m ∝ q_m exp(η L_m).
-            let losses: Vec<f64> = envs
-                .iter()
-                .map(|&m| {
-                    timer.time(Step::MetaLoss, || {
-                        env_loss(
-                            &model.weights,
-                            &data.x,
-                            &data.labels,
-                            data.env_rows(m),
-                            self.config.reg,
-                        )
-                    })
-                })
-                .collect();
+            // One fused pass per environment at the current θ: the loss
+            // feeds the q ascent, the gradient the descent, and the logits
+            // are computed once.
+            timer.time(Step::Backward, || {
+                let weights = &model.weights;
+                env_state.par_iter_mut().enumerate().for_each(|(i, slot)| {
+                    let (loss, grad) = slot;
+                    *loss = kernels::env_loss_grad(
+                        weights,
+                        &data.x,
+                        &data.labels,
+                        data.env_rows(envs[i]),
+                        self.config.reg,
+                        grad,
+                    );
+                });
+            });
             ops.add_forward(envs.len() as u64);
-            for (qi, &l) in q.iter_mut().zip(&losses) {
+            ops.add_backward(envs.len() as u64);
+            // Ascent on q: q_m ∝ q_m exp(η L_m).
+            for (qi, (l, _)) in q.iter_mut().zip(&env_state) {
                 *qi *= (self.group_step * l).exp();
             }
             let z: f64 = q.iter().sum();
             for qi in q.iter_mut() {
                 *qi /= z;
             }
-            // Descent on the q-weighted loss.
+            // Descent on the q-weighted loss, merged serially in env order.
             weighted.fill(0.0);
-            for (i, &m) in envs.iter().enumerate() {
-                timer.time(Step::Backward, || {
-                    env_grad(
-                        &model.weights,
-                        &data.x,
-                        &data.labels,
-                        data.env_rows(m),
-                        self.config.reg,
-                        &mut grad,
-                    );
-                });
-                ops.add_backward(1);
-                for (w, &g) in weighted.iter_mut().zip(&grad) {
+            for (i, (_, grad)) in env_state.iter().enumerate() {
+                for (w, &g) in weighted.iter_mut().zip(grad) {
                     *w += q[i] * g;
                 }
             }
@@ -138,43 +143,38 @@ impl VRexTrainer {
         let envs = active_envs_checked(data);
         let m_count = envs.len() as f64;
         let mut model = LrModel::zeros(data.n_cols());
-        let mut grad = vec![0.0; data.n_cols()];
+        // Per-environment (loss, gradient) slots, reused every epoch.
+        let mut env_state: Vec<(f64, Vec<f64>)> = envs
+            .iter()
+            .map(|_| (0.0, vec![0.0; data.n_cols()]))
+            .collect();
         let mut total = vec![0.0; data.n_cols()];
         let mut momentum = crate::trainers::Momentum::new(data.n_cols(), self.config.momentum);
         for epoch in 0..self.config.epochs {
-            let losses: Vec<f64> = envs
-                .iter()
-                .map(|&m| {
-                    timer.time(Step::MetaLoss, || {
-                        env_loss(
-                            &model.weights,
-                            &data.x,
-                            &data.labels,
-                            data.env_rows(m),
-                            self.config.reg,
-                        )
-                    })
-                })
-                .collect();
-            ops.add_forward(envs.len() as u64);
-            let mean = losses.iter().sum::<f64>() / m_count;
-            // ∂/∂R_m [mean + λ_v var] = 1/M + λ_v · 2 (R_m − mean)/M.
-            total.fill(0.0);
-            for (i, &m) in envs.iter().enumerate() {
-                let coef =
-                    1.0 / m_count + self.variance_weight * 2.0 * (losses[i] - mean) / m_count;
-                timer.time(Step::Backward, || {
-                    env_grad(
-                        &model.weights,
+            // Both the risks (for the variance coefficients) and the
+            // gradients are taken at the same θ — one fused pass per env.
+            timer.time(Step::Backward, || {
+                let weights = &model.weights;
+                env_state.par_iter_mut().enumerate().for_each(|(i, slot)| {
+                    let (loss, grad) = slot;
+                    *loss = kernels::env_loss_grad(
+                        weights,
                         &data.x,
                         &data.labels,
-                        data.env_rows(m),
+                        data.env_rows(envs[i]),
                         self.config.reg,
-                        &mut grad,
+                        grad,
                     );
                 });
-                ops.add_backward(1);
-                for (t, &g) in total.iter_mut().zip(&grad) {
+            });
+            ops.add_forward(envs.len() as u64);
+            ops.add_backward(envs.len() as u64);
+            let mean = env_state.iter().map(|(l, _)| l).sum::<f64>() / m_count;
+            // ∂/∂R_m [mean + λ_v var] = 1/M + λ_v · 2 (R_m − mean)/M.
+            total.fill(0.0);
+            for (loss, grad) in &env_state {
+                let coef = 1.0 / m_count + self.variance_weight * 2.0 * (loss - mean) / m_count;
+                for (t, &g) in total.iter_mut().zip(grad) {
                     *t += coef * g;
                 }
             }
@@ -253,7 +253,7 @@ impl Irmv1Trainer {
             for &m in &envs {
                 let rows = data.env_rows(m);
                 timer.time(Step::Backward, || {
-                    env_grad(
+                    kernels::env_grad(
                         &model.weights,
                         &data.x,
                         &data.labels,

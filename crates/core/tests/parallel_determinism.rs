@@ -1,0 +1,111 @@
+//! Bit-level reproducibility of the parallel training paths.
+//!
+//! The kernel layer promises that thread count is *not* part of the model:
+//! fixed 4096-row chunk boundaries, sequential accumulation within a chunk,
+//! and chunk-ordered merges make every reduction independent of how the
+//! chunks were scheduled. These tests train full models inside explicit
+//! rayon pools of different sizes and require the learned weights to be
+//! identical to the last bit.
+
+use lightmirm_core::prelude::*;
+use lightmirm_core::trainers::TrainConfig;
+use rayon::ThreadPoolBuilder;
+
+/// Multi-env world with `rows_per_env` rows per environment. With
+/// `rows_per_env > CHUNK_ROWS` the per-env kernels split into several
+/// chunks, exercising the ordered chunk merge under real scheduling.
+fn world(n_envs: u16, rows_per_env: usize, n_cols: usize) -> EnvDataset {
+    let nnz = 3;
+    let mut idx = Vec::new();
+    let mut labels = Vec::new();
+    let mut envs = Vec::new();
+    let mut k = 0u64;
+    for env in 0..n_envs {
+        for _ in 0..rows_per_env {
+            k += 1;
+            let h = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((env as u64) << 23);
+            let y = ((h >> 11) % 10 < 4 + (env as u64 % 3)) as u8;
+            for j in 0..nnz {
+                idx.push(((h >> (17 + 7 * j)) % n_cols as u64) as u32);
+            }
+            labels.push(y);
+            envs.push(env);
+        }
+    }
+    let x = MultiHotMatrix::new(idx, nnz, n_cols).expect("well-formed");
+    let names = (0..n_envs).map(|e| format!("env{e}")).collect();
+    EnvDataset::new(x, labels, envs, names).expect("aligned")
+}
+
+fn config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        inner_lr: 0.3,
+        outer_lr: 0.8,
+        lambda: 0.4,
+        reg: 1e-3,
+        momentum: 0.9,
+        seed: 23,
+    }
+}
+
+/// Run `fit` inside a dedicated pool of `threads` workers and return the
+/// final global weights.
+fn weights_with_threads(threads: usize, fit: impl Fn() -> TrainOutput + Send + Sync) -> Vec<f64> {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    let out = pool.install(&fit);
+    out.model.global().weights.clone()
+}
+
+fn assert_thread_invariant(label: &str, fit: impl Fn() -> TrainOutput + Send + Sync) {
+    let serial = weights_with_threads(1, &fit);
+    assert!(
+        serial.iter().any(|w| *w != 0.0),
+        "{label}: training should move the weights"
+    );
+    for threads in [2, 4] {
+        let parallel = weights_with_threads(threads, &fit);
+        assert_eq!(
+            serial, parallel,
+            "{label}: weights must be bit-identical at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn light_mirm_weights_are_thread_count_invariant() {
+    let data = world(4, 60, 12);
+    assert_thread_invariant("LightMIRM", || {
+        LightMirmTrainer::new(config(6)).fit(&data, None)
+    });
+}
+
+#[test]
+fn meta_irm_weights_are_thread_count_invariant() {
+    let data = world(4, 60, 12);
+    assert_thread_invariant("meta-IRM", || {
+        MetaIrmTrainer::new(config(5)).fit(&data, None)
+    });
+}
+
+#[test]
+fn erm_weights_are_thread_count_invariant_across_chunks() {
+    // One environment above CHUNK_ROWS so the pooled gradient spans
+    // multiple chunks and the chunk-ordered merge is actually exercised.
+    let data = world(2, CHUNK_ROWS + 500, 16);
+    assert_thread_invariant("ERM", || ErmTrainer::new(config(3)).fit(&data, None));
+}
+
+#[test]
+fn robust_baseline_weights_are_thread_count_invariant() {
+    let data = world(3, 80, 10);
+    assert_thread_invariant("GroupDRO", || {
+        GroupDroTrainer::new(config(4), 0.5).fit(&data, None)
+    });
+    assert_thread_invariant("V-REx", || {
+        VRexTrainer::new(config(4), 2.0).fit(&data, None)
+    });
+}

@@ -182,17 +182,15 @@ fn light_mirm_first_step_matches_tape_gradient() {
     let out = LightMirmTrainer::new(config.clone()).fit(&data, None);
     let stepped = &out.model.global().weights;
 
-    // Reproduce the trainer's sampling: for each env in order, draw
-    // uniformly until != m (the trainer's exact procedure and RNG).
+    // Reproduce the trainer's sampling: for each env position in order,
+    // one index-shift draw over the other M−1 environments (the trainer's
+    // exact procedure and RNG — one `gen_range` per environment).
     let envs = data.active_envs();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let sampled: Vec<usize> = envs
-        .iter()
-        .map(|&m| loop {
-            let cand = envs[rng.gen_range(0..envs.len())];
-            if cand != m {
-                break cand;
-            }
+    let sampled: Vec<usize> = (0..envs.len())
+        .map(|i| {
+            let j = rng.gen_range(0..envs.len() - 1);
+            envs[if j >= i { j + 1 } else { j }]
         })
         .collect();
 

@@ -21,7 +21,7 @@ fn scored_test_set() -> (Vec<f64>, Vec<u8>) {
         .to_env_dataset(&split.test, names, None)
         .expect("test transform");
     let out = LightMirmTrainer::new(TrainConfig {
-        epochs: 30,
+        epochs: 45,
         inner_lr: 0.1,
         outer_lr: 0.3,
         momentum: 0.0,

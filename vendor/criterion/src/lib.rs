@@ -1,0 +1,252 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the harness subset its benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size`,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`. Timings
+//! are wall-clock medians over a fixed number of batches — much simpler
+//! than real criterion's analysis, but stable enough to compare runs on
+//! the same machine.
+//!
+//! `cargo bench -- --test` (criterion's smoke mode, used by CI) runs each
+//! benchmark exactly once and skips measurement.
+
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    /// `--test`: run each benchmark body once, skip timing.
+    quick: bool,
+}
+
+impl Mode {
+    fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Mode { quick }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            sample_size: 20,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut group = self.benchmark_group(&id);
+        group.run_named(id, f);
+    }
+}
+
+/// Identifier for parameterized benchmarks: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on measurement batches (kept for API compatibility;
+    /// the stand-in uses it as the batch count directly).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        self.run_named(full, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.full);
+        self.run_named(full, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn run_named(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            quick: self.mode.quick,
+            samples: Vec::new(),
+            batch: 1,
+        };
+        if self.mode.quick {
+            f(&mut bencher);
+            println!("test {label} ... ok (quick mode)");
+            return;
+        }
+        // Calibrate batch size so one batch takes ≳1 ms, then measure.
+        bencher.calibrate(&mut f);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let median = bencher.median_ns();
+        println!("{label:<50} {:>12} ns/iter", format_ns(median));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    quick: bool,
+    /// ns-per-iteration samples collected so far.
+    samples: Vec<f64>,
+    /// Iterations per timed batch.
+    batch: u64,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.quick {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        self.samples.push(elapsed * 1e9 / self.batch as f64);
+    }
+
+    fn calibrate(&mut self, f: &mut impl FnMut(&mut Bencher)) {
+        self.batch = 1;
+        loop {
+            let before = self.samples.len();
+            let start = Instant::now();
+            f(self);
+            let took = start.elapsed().as_secs_f64();
+            // The closure may not have called `iter` at all; don't spin.
+            if self.samples.len() == before || took >= 1e-3 || self.batch >= 1 << 20 {
+                break;
+            }
+            self.batch *= 2;
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    }
+}
+
+/// Mirror of criterion's group/main macros.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut b = Bencher {
+            quick: true,
+            samples: Vec::new(),
+            batch: 1,
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn measurement_collects_samples() {
+        let mut b = Bencher {
+            quick: false,
+            samples: Vec::new(),
+            batch: 4,
+        };
+        b.iter(|| black_box(3u64.pow(7)));
+        assert_eq!(b.samples.len(), 1);
+        assert!(b.samples[0] >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("train", 8);
+        assert_eq!(id.full, "train/8");
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for the `rand` crate (0.8-era API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the surface it uses: [`RngCore`] / [`SeedableRng`] / [`Rng`] with
+//! `gen::<f64>()`-style unit sampling, integer/float `gen_range`, and
+//! `seq::SliceRandom::shuffle`. The value streams are self-consistent and
+//! deterministic per seed (which is all the repo's tests assert), but are
+//! not guaranteed to match the real crate draw-for-draw.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64, matching the
+    /// rand_core approach of deriving all seed bytes from one state word.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64 { state };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types samplable uniformly from the RNG's full output ("Standard"
+/// distribution in real rand).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap,
+                    clippy::cast_sign_loss, clippy::cast_lossless)]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Debiased multiply-shift rejection (Lemire); the retry
+                // probability is < span / 2^64 per draw.
+                let threshold = (u64::MAX as u128 + 1 - span % (u64::MAX as u128 + 1))
+                    % span.max(1);
+                loop {
+                    let x = rng.next_u64() as u128;
+                    let m = x * span;
+                    if (m & u64::MAX as u128) >= threshold || span.is_power_of_two() {
+                        return (lo as i128 + (m >> 64) as i128) as $t;
+                    }
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                if lo == hi {
+                    return lo;
+                }
+                if hi < <$t>::MAX {
+                    Self::sample_half_open(rng, lo, hi + 1)
+                } else if lo > <$t>::MIN {
+                    Self::sample_half_open(rng, lo - 1, hi).max(lo)
+                } else {
+                    // Full domain: every output is valid.
+                    <$t as Standard>::sample(rng)
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let unit = <$t as Standard>::sample(rng);
+                lo + unit * (hi - lo)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                Self::sample_half_open(rng, lo, hi)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    fn fill<T: Standard>(&mut self, dest: &mut [T]) {
+        for v in dest.iter_mut() {
+            *v = T::sample(self);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice extensions: Fisher–Yates shuffle and uniform choice.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Marker re-export so `use rand::seq::*` keeps working.
+    pub use super::RngCore as _SeqRngCore;
+
+    #[allow(dead_code)]
+    fn _assert_object_safe(_: &mut dyn RngCore) {}
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small fast xoshiro256++ generator (stand-in for rand's `SmallRng`).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(0u8..=1);
+            assert!(b <= 1);
+            let c = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&c));
+            let d = rng.gen_range(-1.5f64..1.5);
+            assert!((-1.5..1.5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_works_through_dyn_sized() {
+        let mut rng = Counter(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        fn go<R: Rng + ?Sized>(v: &mut [u32], rng: &mut R) {
+            v.shuffle(rng);
+        }
+        go(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset it uses: `into_par_iter` / `par_iter` / `par_chunks` with
+//! `map` / `for_each` / `collect`, plus [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] for pinning thread counts in tests.
+//!
+//! Unlike real rayon there is no work-stealing pool: each parallel
+//! adapter materializes its items, splits them into contiguous blocks,
+//! runs one scoped OS thread per block, and concatenates block results
+//! **in block order**. Results are therefore always in input order (the
+//! same guarantee rayon's indexed `collect` gives), and the workspace's
+//! kernels additionally make every reduction a fixed-chunk ordered merge
+//! so numeric output is bit-identical for any thread count.
+//!
+//! Thread-count resolution: `ThreadPool::install` override (thread-local)
+//! → `RAYON_NUM_THREADS` env var → `std::thread::available_parallelism`.
+//! Worker threads run nested parallel calls serially, which keeps
+//! oversubscription bounded on coarse env-level × chunk-level nests.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    static OVERRIDE_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Number of threads parallel adapters will use on this thread right now.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    OVERRIDE_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
+
+fn with_override<R>(n: Option<usize>, f: impl FnOnce() -> R) -> R {
+    let prev = OVERRIDE_THREADS.with(|c| c.replace(n));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Run `f` over `items`, in parallel when it pays, returning outputs in
+/// input order.
+fn run_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Contiguous blocks, remainder spread over the leading blocks, so the
+    // partition depends only on (len, threads).
+    let len = items.len();
+    let base = len / threads;
+    let extra = len % threads;
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    for b in 0..threads {
+        let take = base + usize::from(b < extra);
+        blocks.push(it.by_ref().take(take).collect());
+    }
+
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| {
+                scope.spawn(move || {
+                    // Nested parallel calls inside a worker run serially.
+                    with_override(Some(1), || block.into_iter().map(f).collect::<Vec<R>>())
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for block in results {
+        out.extend(block);
+    }
+    out
+}
+
+/// Eagerly materialized parallel iterator. Adapters preserve input order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_ordered(self.items, f),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_ordered(self.items, f);
+    }
+
+    #[must_use]
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ParIter {
+            items: self.items.into_iter().filter(|t| f(t)).collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
+    where
+        Id: Fn() -> T,
+        Op: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Owned-collection entry point (`Vec<T>`, ranges, …).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// Borrowing entry points (`par_iter`, `par_iter_mut`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator<Item = &'a T>,
+{
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// `par_chunks` / `par_chunks_mut` over slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(|| with_override(Some(1), b));
+        let ra = with_override(Some(1), a);
+        (ra, hb.join().expect("rayon stand-in join worker panicked"))
+    })
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the `install` pattern.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// # Errors
+    ///
+    /// Never fails in the stand-in; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_num_threads),
+        })
+    }
+}
+
+/// A fixed thread-count scope: `pool.install(f)` runs `f` with all
+/// parallel adapters inside using `num_threads` threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_override(Some(self.num_threads), f)
+    }
+
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+pub mod iter {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+pub mod slice {
+    pub use super::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_are_contiguous_and_ordered() {
+        let data: Vec<u32> = (0..100).collect();
+        let sums: Vec<u32> = data.par_chunks(7).map(|c| c.iter().sum()).collect();
+        let expect: Vec<u32> = data.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v.len(), 10);
+        });
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<f64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0..257usize)
+                    .into_par_iter()
+                    .map(|i| (i as f64).sin())
+                    .collect()
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(v[49], 147);
+    }
+}

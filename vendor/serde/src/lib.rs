@@ -1,0 +1,642 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a Value-tree serialization core: [`Serialize`] lowers a type to a
+//! [`value::Value`] and [`Deserialize`] rebuilds it from one. The derive
+//! macros come from the vendored `serde_derive` and target exactly these
+//! traits. `serde_json` (also vendored) renders and parses the same
+//! `Value` type, so the familiar `to_string`/`from_str` round-trips work.
+//!
+//! Field and map ordering is insertion order (declaration order for
+//! derived structs), matching serde_json's `preserve_order` behavior.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    /// Insertion-ordered string-keyed map.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct Map {
+        entries: Vec<(String, Value)>,
+    }
+
+    impl Map {
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+            for (k, v) in &mut self.entries {
+                if *k == key {
+                    return Some(std::mem::replace(v, value));
+                }
+            }
+            self.entries.push((key, value));
+            None
+        }
+
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+
+        #[must_use]
+        pub fn contains_key(&self, key: &str) -> bool {
+            self.get(key).is_some()
+        }
+
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+            self.entries.iter().map(|(k, v)| (k, v))
+        }
+
+        #[must_use]
+        pub fn keys(&self) -> Vec<&String> {
+            self.entries.iter().map(|(k, _)| k).collect()
+        }
+    }
+
+    impl FromIterator<(String, Value)> for Map {
+        fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+            let mut map = Map::new();
+            for (k, v) in iter {
+                map.insert(k, v);
+            }
+            map
+        }
+    }
+
+    /// A JSON-shaped value tree. Integers keep their signedness so u64/i64
+    /// round-trip losslessly; floats round-trip via shortest decimal form.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub enum Value {
+        #[default]
+        Null,
+        Bool(bool),
+        Int(i64),
+        UInt(u64),
+        Float(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Map),
+    }
+
+    pub(crate) static NULL: Value = Value::Null;
+
+    impl Value {
+        #[must_use]
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        #[must_use]
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        #[must_use]
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                Value::UInt(u) => i64::try_from(*u).ok(),
+                _ => None,
+            }
+        }
+
+        #[must_use]
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::UInt(u) => Some(*u),
+                Value::Int(i) => u64::try_from(*i).ok(),
+                _ => None,
+            }
+        }
+
+        #[must_use]
+        #[allow(clippy::cast_precision_loss)]
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Float(f) => Some(*f),
+                Value::Int(i) => Some(*i as f64),
+                Value::UInt(u) => Some(*u as f64),
+                _ => None,
+            }
+        }
+
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        #[must_use]
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        #[must_use]
+        pub fn as_object(&self) -> Option<&Map> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// Object-key or array-index lookup, `None` on mismatch.
+        #[must_use]
+        pub fn get<I: super::ValueIndex>(&self, index: I) -> Option<&Value> {
+            index.index_into(self)
+        }
+    }
+
+    impl std::fmt::Display for Value {
+        /// Compact JSON, matching real serde_json's `Display` for `Value`.
+        /// Floats use shortest-roundtrip form with a `.0` suffix for
+        /// integral values; non-finite floats render as `null`.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Value::Null => f.write_str("null"),
+                Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+                Value::Int(i) => write!(f, "{i}"),
+                Value::UInt(u) => write!(f, "{u}"),
+                Value::Float(x) => {
+                    if !x.is_finite() {
+                        f.write_str("null")
+                    } else if *x == x.trunc() && x.abs() < 1e16 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                }
+                Value::String(s) => write_json_escaped(f, s),
+                Value::Array(items) => {
+                    f.write_str("[")?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{item}")?;
+                    }
+                    f.write_str("]")
+                }
+                Value::Object(map) => {
+                    f.write_str("{")?;
+                    for (i, (k, v)) in map.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write_json_escaped(f, k)?;
+                        f.write_str(":")?;
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str("}")
+                }
+            }
+        }
+    }
+
+    pub(crate) fn write_json_escaped(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+        f.write_str("\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        f.write_str("\"")
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, idx: usize) -> &Value {
+            self.get(idx).unwrap_or(&NULL)
+        }
+    }
+
+    macro_rules! impl_value_eq_int {
+        ($($t:ty),*) => {$(
+            impl PartialEq<$t> for Value {
+                fn eq(&self, other: &$t) -> bool {
+                    match self {
+                        Value::Int(i) => i128::from(*i) == i128::from(*other),
+                        Value::UInt(u) => i128::from(*u) == i128::from(*other),
+                        _ => false,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_value_eq_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+    impl PartialEq<f64> for Value {
+        fn eq(&self, other: &f64) -> bool {
+            self.as_f64() == Some(*other)
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+
+    impl PartialEq<bool> for Value {
+        fn eq(&self, other: &bool) -> bool {
+            self.as_bool() == Some(*other)
+        }
+    }
+}
+
+use value::{Map, Value};
+
+/// Object-key / array-index abstraction for [`Value::get`].
+pub trait ValueIndex {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+}
+
+impl ValueIndex for &str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        match v {
+            Value::Object(m) => m.get(self),
+            _ => None,
+        }
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        self.as_str().index_into(v)
+    }
+}
+
+impl ValueIndex for usize {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        match v {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable path + expectation message.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape doesn't match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- Serialize impls -------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+// Non-negative integers normalize to `UInt` (as real serde_json stores
+// them) so values built in code compare equal to values parsed from text.
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[allow(clippy::cast_sign_loss)]
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    #[allow(clippy::cast_sign_loss)]
+    fn to_value(&self) -> Value {
+        let v = *self as i64;
+        if v >= 0 {
+            Value::UInt(v as u64)
+        } else {
+            Value::Int(v)
+        }
+    }
+}
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+// ---- Deserialize impls -----------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError(format!("expected bool, got {v:?}")))
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => i128::from(*i),
+                    Value::UInt(u) => i128::from(*u),
+                    _ => return Err(DeError(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v))),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError(format!(
+                    concat!("integer out of range for ", stringify!($t), ": {}"), wide)))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError(format!("expected f64, got {v:?}")))
+    }
+}
+
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(ToString::to_string)
+            .ok_or_else(|| DeError(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Static-catalog support (e.g. province tables with `&'static str`
+    /// names): the parsed string is leaked to obtain `'static`. Fine for
+    /// bounded configuration data, not for unbounded streams.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| DeError(format!("expected 2-element array, got {v:?}")))?;
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+// ---- Derive-support helpers (used by generated code) ------------------
+
+/// Runtime hooks the `serde_derive` stand-in generates calls into. Not
+/// part of the public API contract; kept stable for the generated code.
+pub mod __private {
+    use super::{DeError, Map, Value};
+
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `v` is not an object.
+    pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v Map, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError(format!("expected {ty} object, got {v:?}")))
+    }
+
+    /// Missing fields read as `Null` so `Option` fields can default.
+    #[must_use]
+    pub fn field<'v>(m: &'v Map, key: &str) -> &'v Value {
+        m.get(key).unwrap_or(&super::value::NULL)
+    }
+
+    #[must_use]
+    pub fn err_context(ty: &str, field: &str, e: DeError) -> DeError {
+        DeError(format!("{ty}.{field}: {e}"))
+    }
+
+    #[must_use]
+    pub fn unknown_variant(ty: &str, v: &Value) -> DeError {
+        DeError(format!("unknown {ty} variant: {v:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::{Map, Value};
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::Int(1));
+        m.insert("a".into(), Value::Int(2));
+        let keys: Vec<&String> = m.keys();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(f64::from_value(&0.1f64.to_value()).unwrap(), 0.1);
+        assert_eq!(
+            Option::<String>::from_value(&Value::Null).unwrap(),
+            None::<String>
+        );
+        let v: Vec<f64> = vec![1.5, -2.5];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn value_indexing_and_eq() {
+        let mut m = Map::new();
+        m.insert("x".into(), Value::Int(1));
+        let v = Value::Object(m);
+        assert_eq!(v["x"], 1);
+        assert!(v["missing"].is_null());
+    }
+}

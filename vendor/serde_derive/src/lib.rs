@@ -1,0 +1,395 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! Value-tree traits. Because the registry (and thus `syn`/`quote`) is
+//! unavailable, the item is parsed directly from the `proc_macro` token
+//! stream and the impl is emitted as a source string.
+//!
+//! Supported shapes — the ones the workspace uses:
+//! - structs with named fields
+//! - enums with unit variants (incl. explicit discriminants, which JSON
+//!   representation ignores, as real serde does), newtype/tuple variants,
+//!   and struct variants (externally tagged, like real serde's default)
+//!
+//! Unsupported (panics with a clear message): generics, tuple structs,
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advance past `#[...]` attributes and an optional `pub` / `pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2; // '#' then the bracket group
+        } else {
+            break;
+        }
+    }
+    if i < tokens.len() && ident_of(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skip tokens until a comma at angle-bracket depth zero; returns the
+/// index just past that comma (or `tokens.len()`).
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth: i64 = 0;
+    while i < tokens.len() {
+        if is_punct(&tokens[i], '<') {
+            depth += 1;
+        } else if is_punct(&tokens[i], '>') {
+            depth -= 1;
+        } else if is_punct(&tokens[i], ',') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &Group, context: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i])
+            .unwrap_or_else(|| panic!("{context}: expected field name, got {:?}", tokens[i]));
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "{context}: expected `:` after field `{name}`"
+        );
+        i = skip_past_comma(&tokens, i + 1);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_past_comma(&tokens, i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(group: &Group, context: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i])
+            .unwrap_or_else(|| panic!("{context}: expected variant name, got {:?}", tokens[i]));
+        i += 1;
+        let mut shape = Shape::Unit;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                shape = match g.delimiter() {
+                    Delimiter::Parenthesis => Shape::Tuple(count_tuple_fields(g)),
+                    Delimiter::Brace => {
+                        Shape::Struct(parse_named_fields(g, &format!("{context}::{name}")))
+                    }
+                    other => panic!("{context}::{name}: unsupported delimiter {other:?}"),
+                };
+                i += 1;
+            }
+        }
+        // Skip an optional `= <discriminant expr>` and the trailing comma.
+        // JSON uses variant names, so discriminants are irrelevant here
+        // (matching real serde's default behavior).
+        i = skip_past_comma(&tokens, i);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream, trait_name: &str) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kw = ident_of(&tokens[i])
+        .unwrap_or_else(|| panic!("derive({trait_name}): expected struct/enum keyword"));
+    i += 1;
+    let name =
+        ident_of(&tokens[i]).unwrap_or_else(|| panic!("derive({trait_name}): expected type name"));
+    i += 1;
+    assert!(
+        !is_punct(&tokens[i], '<'),
+        "derive({trait_name}) on `{name}`: generic types are not supported by the vendored serde"
+    );
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("derive({trait_name}) on `{name}`: tuple structs are not supported")
+        }
+        other => panic!("derive({trait_name}) on `{name}`: expected body, got {other:?}"),
+    };
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body, &name)),
+        "enum" => Kind::Enum(parse_variants(body, &name)),
+        other => panic!("derive({trait_name}): unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+// ---- Serialize codegen -----------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut s = String::from("let mut __map = ::serde::value::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(__map)");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "Self::{vn}(__f0) => {{\n\
+                         let mut __map = ::serde::value::Map::new();\n\
+                         __map.insert(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0));\n\
+                         ::serde::value::Value::Object(__map)\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{vn}({}) => {{\n\
+                             let mut __map = ::serde::value::Map::new();\n\
+                             __map.insert(\"{vn}\".to_string(), \
+                             ::serde::value::Value::Array(vec![{}]));\n\
+                             ::serde::value::Value::Object(__map)\n}}\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut __inner = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __map = ::serde::value::Map::new();\n\
+                             __map.insert(\"{vn}\".to_string(), \
+                             ::serde::value::Value::Object(__inner));\n\
+                             ::serde::value::Value::Object(__map)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---- Deserialize codegen ---------------------------------------------
+
+fn gen_struct_fields_from_map(ty: &str, path: &str, fields: &[String], map_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::__private::field({map_var}, \
+                 \"{f}\")).map_err(|e| ::serde::__private::err_context(\"{ty}\", \"{f}\", e))?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) if fields.is_empty() => {
+            format!("::serde::__private::as_object(__v, \"{name}\")?;\nOk(Self {{}})")
+        }
+        Kind::Struct(fields) => {
+            let build = gen_struct_fields_from_map(name, "Self", fields, "__obj");
+            format!(
+                "let __obj = ::serde::__private::as_object(__v, \"{name}\")?;\n\
+                 Ok({build})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok(Self::{vn}),\n"));
+                    }
+                    Shape::Tuple(1) => payload_arms.push_str(&format!(
+                        "if let Some(__payload) = __obj.get(\"{vn}\") {{\n\
+                         return Ok(Self::{vn}(::serde::Deserialize::from_value(__payload)\
+                         .map_err(|e| ::serde::__private::err_context(\"{name}\", \"{vn}\", e))?));\n\
+                         }}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(&__arr[{k}])\
+                                     .map_err(|e| ::serde::__private::err_context(\
+                                     \"{name}\", \"{vn}\", e))?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "if let Some(__payload) = __obj.get(\"{vn}\") {{\n\
+                             let __arr = __payload.as_array().filter(|a| a.len() == {n})\
+                             .ok_or_else(|| ::serde::DeError(format!(\
+                             \"{name}::{vn}: expected {n}-element array, got {{:?}}\", \
+                             __payload)))?;\n\
+                             return Ok(Self::{vn}({}));\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let build = gen_struct_fields_from_map(
+                            name,
+                            &format!("Self::{vn}"),
+                            fields,
+                            "__inner",
+                        );
+                        payload_arms.push_str(&format!(
+                            "if let Some(__payload) = __obj.get(\"{vn}\") {{\n\
+                             let __inner = ::serde::__private::as_object(__payload, \
+                             \"{name}::{vn}\")?;\n\
+                             return Ok({build});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let payload_block = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!("if let Some(__obj) = __v.as_object() {{\n{payload_arms}}}\n")
+            };
+            let unit_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let Some(__s) = __v.as_str() {{\n\
+                     match __s {{\n{unit_arms}\
+                     _ => return Err(::serde::__private::unknown_variant(\"{name}\", __v)),\n\
+                     }}\n}}\n"
+                )
+            };
+            format!(
+                "{unit_block}{payload_block}\
+                 Err(::serde::__private::unknown_variant(\"{name}\", __v))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Serialize");
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stand-in generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Deserialize");
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stand-in generated invalid Deserialize impl")
+}
