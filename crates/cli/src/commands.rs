@@ -6,6 +6,7 @@ use std::path::Path;
 use lightmirm_core::prelude::*;
 use lightmirm_core::trainers::TrainConfig;
 use lightmirm_metrics::{auc, ks, lift_table, psi};
+use lightmirm_serve::{EngineConfig, EngineStats, ScoringEngine};
 use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog, Schema};
 
 use crate::args::{ArgError, ParsedArgs};
@@ -27,7 +28,7 @@ impl std::fmt::Display for CliError {
             CliError::Data(msg) => write!(f, "{msg}"),
             CliError::UnknownCommand(cmd) => write!(
                 f,
-                "unknown command {cmd:?}; expected generate | train | score | evaluate | audit | explain"
+                "unknown command {cmd:?}; expected generate | train | score | serve-replay | evaluate | audit | explain"
             ),
         }
     }
@@ -58,6 +59,7 @@ pub fn run(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliErr
         "generate" => cmd_generate(args, out),
         "train" => cmd_train(args, out),
         "score" => cmd_score(args, out),
+        "serve-replay" => cmd_serve_replay(args, out),
         "evaluate" => cmd_evaluate(args, out),
         "audit" => cmd_audit(args, out),
         "explain" => cmd_explain(args, out),
@@ -201,19 +203,163 @@ fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
     Ok(())
 }
 
-/// `score --model model.json --data world.bin --out scores.csv` — batch
-/// scoring through the bundle.
+/// Build an engine from the common `--batch` / `--workers` flags.
+fn engine_from_flags(args: &ParsedArgs, bundle: ModelBundle) -> Result<ScoringEngine, CliError> {
+    let defaults = EngineConfig::default();
+    let max_batch = args.get_or("batch", defaults.max_batch)?;
+    let workers = args.get_or("workers", defaults.workers)?;
+    Ok(ScoringEngine::new(
+        bundle,
+        EngineConfig {
+            max_batch,
+            workers,
+            queue_capacity: defaults.queue_capacity.max(max_batch),
+            ..defaults
+        },
+    ))
+}
+
+/// Push `frame` through `engine` as requests of `chunk` rows and return
+/// the scores in row order. Blocking submits provide the backpressure:
+/// the whole frame never sits in memory twice.
+fn score_through_engine(engine: &ScoringEngine, frame: &LoanFrame, chunk: usize) -> Vec<f64> {
+    let nf = engine.bundle().n_features();
+    let chunk = chunk.max(1).min(engine.config().queue_capacity);
+    let mut pending = Vec::with_capacity(frame.len().div_ceil(chunk));
+    let mut r = 0usize;
+    while r < frame.len() {
+        let n = chunk.min(frame.len() - r);
+        let mut features = Vec::with_capacity(n * nf);
+        let mut env_ids = Vec::with_capacity(n);
+        for k in r..r + n {
+            features.extend_from_slice(frame.row(k));
+            env_ids.push(frame.province[k]);
+        }
+        pending.push(
+            engine
+                .submit(features, env_ids)
+                .expect("engine accepts well-formed requests"),
+        );
+        r += n;
+    }
+    let mut scores = Vec::with_capacity(frame.len());
+    for p in pending {
+        scores.extend(p.wait().expect("engine answers before shutdown"));
+    }
+    scores
+}
+
+fn write_engine_summary(out: &mut dyn std::io::Write, stats: &EngineStats) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "engine: {} requests, mean batch {:.1} rows, latency p50 {:.1}us p99 {:.1}us",
+        stats.requests,
+        stats.batch_rows_mean,
+        stats.latency_p50_ns as f64 / 1_000.0,
+        stats.latency_p99_ns as f64 / 1_000.0
+    )
+}
+
+/// `score --model model.json --data world.bin --out scores.csv
+/// [--batch 256] [--workers 2]` — batch scoring through the micro-batched
+/// engine. Scores are bit-identical for any `--batch`/`--workers` choice.
 fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let bundle = load_bundle(args.required("model")?)?;
     let frame = load_frame(args.required("data")?)?;
     let out_path = args.required("out")?;
+    let engine = engine_from_flags(args, bundle)?;
+    let scores = score_through_engine(&engine, &frame, engine.config().max_batch);
+    let stats = engine.shutdown();
     let mut text = String::from("row,province,score\n");
-    for r in 0..frame.len() {
-        let score = bundle.score(frame.row(r), frame.province[r]);
+    for (r, score) in scores.iter().enumerate() {
         text.push_str(&format!("{r},{},{score:.6}\n", frame.province[r]));
     }
     std::fs::write(Path::new(out_path), text)?;
     writeln!(out, "scored {} rows into {out_path}", frame.len())?;
+    write_engine_summary(out, &stats)?;
+    Ok(())
+}
+
+/// `serve-replay --model model.json --data world.bin --out replay.json
+/// [--batch 256] [--workers 2] [--chunk 1] [--grid 40]` — the Fig. 5
+/// online companion sweep with the companion scored live through the
+/// serving engine: the held-out 2020 stream arrives as `--chunk`-row
+/// requests, the incumbent (the raw GBDT scorer) approves below the 70th
+/// percentile of its own scores, and the companion's veto threshold is
+/// swept over a `--grid`-point curve.
+fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let bundle = load_bundle(args.required("model")?)?;
+    let frame = load_frame(args.required("data")?)?;
+    let out_path = args.required("out")?;
+    let chunk = args.get_or("chunk", 1usize)?;
+    let grid_points = args.get_or("grid", 40usize)?.max(1);
+
+    let stream_rows = frame.filter_rows(|y, _, _| y == 2020);
+    if stream_rows.is_empty() {
+        return Err(CliError::Data("no 2020 rows to replay".into()));
+    }
+    let stream = frame.select(&stream_rows);
+
+    // The incumbent: the platform's existing scorer, stood in by the raw
+    // GBDT extractor, approving below the 70th percentile of its scores.
+    let incumbent = bundle
+        .extractor
+        .predict_proba_batch(stream.feature_matrix());
+    let mut sorted = incumbent.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let incumbent_threshold = sorted[(sorted.len() as f64 * 0.70) as usize];
+
+    // The companion: the bundle served live through the engine.
+    let engine = engine_from_flags(args, bundle)?;
+    let companion = score_through_engine(&engine, &stream, chunk);
+    let stats = engine.shutdown();
+
+    let grid: Vec<f64> = (0..=grid_points)
+        .map(|i| i as f64 / grid_points as f64)
+        .collect();
+    let replayed = replay(
+        &incumbent,
+        &companion,
+        &stream.label,
+        incumbent_threshold,
+        &grid,
+    )
+    .map_err(|e| CliError::Data(e.to_string()))?;
+
+    std::fs::write(
+        Path::new(out_path),
+        serde_json::to_string_pretty(&serde_json::json!({
+            "rows": stream.len(),
+            "incumbent_threshold": incumbent_threshold,
+            "incumbent_bad_debt": replayed.incumbent_bad_debt,
+            "curve": replayed.curve,
+            "engine": &stats,
+        }))
+        .expect("replay output serializes"),
+    )?;
+
+    writeln!(
+        out,
+        "served {} rows in {}-row requests; incumbent bad debt {:.2}%",
+        stream.len(),
+        chunk.max(1),
+        replayed.incumbent_bad_debt * 100.0
+    )?;
+    let best = replayed
+        .curve
+        .iter()
+        .min_by(|a, b| a.bad_debt_rate.total_cmp(&b.bad_debt_rate))
+        .expect("nonempty grid");
+    writeln!(
+        out,
+        "best companion point: tau={:.3} bad debt {:.2}% (FPR {:.1}%, veto {:.1}%)",
+        best.threshold,
+        best.bad_debt_rate * 100.0,
+        best.false_positive_rate * 100.0,
+        best.veto_rate * 100.0
+    )?;
+    write_engine_summary(out, &stats)?;
+    writeln!(out, "curve written to {out_path}")?;
     Ok(())
 }
 
@@ -434,6 +580,55 @@ mod tests {
         .unwrap();
         assert!(msg.contains("default probability"), "{msg}");
         assert!(msg.contains("reason codes"), "{msg}");
+    }
+
+    #[test]
+    fn score_is_identical_for_any_batch_and_worker_count() {
+        let data = tmp("world_det.bin");
+        let model = tmp("model_det.json");
+        run_line(&format!("generate --out {data} --rows 4000 --seed 11")).unwrap();
+        run_line(&format!(
+            "train --data {data} --out {model} --method erm --trees 6 --epochs 5"
+        ))
+        .unwrap();
+        let mut outputs = Vec::new();
+        for (batch, workers) in [(1, 1), (64, 2), (256, 4)] {
+            let scores = tmp(&format!("scores_b{batch}_w{workers}.csv"));
+            run_line(&format!(
+                "score --model {model} --data {data} --out {scores} \
+                 --batch {batch} --workers {workers}"
+            ))
+            .unwrap();
+            outputs.push(std::fs::read_to_string(&scores).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn serve_replay_writes_curve_and_engine_stats() {
+        let data = tmp("world_replay.bin");
+        let model = tmp("model_replay.json");
+        let replay_out = tmp("replay.json");
+        run_line(&format!("generate --out {data} --rows 6000 --seed 13")).unwrap();
+        run_line(&format!(
+            "train --data {data} --out {model} --method lightmirm --trees 8 --epochs 10"
+        ))
+        .unwrap();
+        let msg = run_line(&format!(
+            "serve-replay --model {model} --data {data} --out {replay_out} \
+             --chunk 3 --workers 2 --grid 10"
+        ))
+        .unwrap();
+        assert!(msg.contains("incumbent bad debt"), "{msg}");
+        assert!(msg.contains("engine:"), "{msg}");
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&replay_out).unwrap()).unwrap();
+        assert_eq!(json["curve"].as_array().unwrap().len(), 11);
+        let served = json["engine"]["rows_scored"].as_u64().unwrap();
+        assert_eq!(served, json["rows"].as_u64().unwrap());
+        // τ = 0 vetoes every approval: the leftmost curve point is total.
+        assert_eq!(json["curve"][0]["veto_rate"].as_f64().unwrap(), 1.0);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //!                    [--method lightmirm|meta-irm|erm] [--trees 64]
 //!                    [--epochs 60] [--mrq-len 5] [--gamma 0.9] ...
 //! lightmirm score    --model model.json --data world.bin --out scores.csv
+//!                    [--batch 256] [--workers 2]
+//! lightmirm serve-replay --model model.json --data world.bin --out replay.json
+//!                    [--batch 256] [--workers 2] [--chunk 1] [--grid 40]
 //! lightmirm evaluate --model model.json --data world.bin [--min-rows 50]
 //! lightmirm audit    --model model.json --baseline a.bin --current b.bin
 //! lightmirm explain  --model model.json --data world.bin --row N [--top 5]
@@ -24,7 +27,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: lightmirm <generate|train|score|evaluate|audit|explain> --flag value ..."
+                "usage: lightmirm <generate|train|score|serve-replay|evaluate|audit|explain> --flag value ..."
             );
             std::process::exit(2);
         }

@@ -9,6 +9,7 @@ use lightmirm_gbdt::Gbdt;
 use serde::{Deserialize, Serialize};
 
 use crate::lr::LrModel;
+use crate::sparse::MultiHotMatrix;
 use crate::trainers::TrainedModel;
 
 /// Format version of the bundle layout.
@@ -152,6 +153,74 @@ impl ModelBundle {
         Ok(bundle)
     }
 
+    /// Number of raw input features the extractor expects per row.
+    pub fn n_features(&self) -> usize {
+        self.extractor.n_features()
+    }
+
+    /// Score a batch of raw rows end to end on the kernel batch path:
+    /// one GBDT leaf transform over the whole batch, then the
+    /// chunk-parallel [`crate::kernels::predict_rows_into`] per head.
+    ///
+    /// `features` is row-major with [`ModelBundle::n_features`] values per
+    /// row; `env_ids[k]` selects the per-environment head for row `k` when
+    /// present. Scoring is purely elementwise per row, so the returned
+    /// values are bit-identical to calling [`ModelBundle::score`] row by
+    /// row — and independent of how a stream is split into batches, which
+    /// is the serving engine's determinism guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features.len() != env_ids.len() * n_features`.
+    pub fn score_batch(&self, features: &[f32], env_ids: &[u16]) -> Vec<f64> {
+        let nf = self.n_features();
+        assert_eq!(
+            features.len(),
+            env_ids.len() * nf,
+            "features must hold n_features values per env_id"
+        );
+        let n = env_ids.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let indices = self.extractor.transform_batch(features);
+        let x = MultiHotMatrix::new(
+            indices,
+            self.extractor.n_trees(),
+            self.extractor.total_leaves(),
+        )
+        .expect("extractor produces well-formed leaf indices");
+        let mut out = vec![0.0; n];
+        match &self.model {
+            StoredModel::Global(m) => {
+                let rows: Vec<u32> = (0..n as u32).collect();
+                crate::kernels::predict_rows_into(&m.weights, &x, &rows, &mut out);
+            }
+            StoredModel::PerEnv { base, per_env } => {
+                // Group the batch rows by head so each head runs one
+                // batched kernel call over its rows.
+                let mut by_env: std::collections::BTreeMap<u16, Vec<u32>> =
+                    std::collections::BTreeMap::new();
+                for (k, &e) in env_ids.iter().enumerate() {
+                    by_env.entry(e).or_default().push(k as u32);
+                }
+                let mut scores = Vec::new();
+                for (e, rows) in &by_env {
+                    let head = per_env
+                        .get(*e as usize)
+                        .and_then(Option::as_ref)
+                        .unwrap_or(base);
+                    scores.resize(rows.len(), 0.0);
+                    crate::kernels::predict_rows_into(&head.weights, &x, rows, &mut scores);
+                    for (&r, &s) in rows.iter().zip(&scores) {
+                        out[r as usize] = s;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Score one raw feature row end to end (extract leaves, apply the
     /// head). `env_id` selects the per-environment head when present.
     pub fn score(&self, raw_row: &[f32], env_id: u16) -> f64 {
@@ -272,6 +341,52 @@ mod tests {
             ModelBundle::from_json("not json"),
             Err(BundleError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn score_batch_is_bit_identical_to_per_row_score() {
+        let (bundle, feats) = demo_bundle();
+        let n = feats.len() / 2;
+        let env_ids: Vec<u16> = (0..n).map(|i| (i % 3) as u16).collect();
+        let batch = bundle.score_batch(&feats, &env_ids);
+        assert_eq!(batch.len(), n);
+        for (k, row) in feats.chunks_exact(2).enumerate() {
+            assert_eq!(batch[k], bundle.score(row, env_ids[k]));
+        }
+        // Splitting the same stream differently cannot change the values.
+        let (a, b) = feats.split_at(2 * (n / 3));
+        let mut split = bundle.score_batch(a, &env_ids[..n / 3]);
+        split.extend(bundle.score_batch(b, &env_ids[n / 3..]));
+        assert_eq!(batch, split);
+        assert!(bundle.score_batch(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn score_batch_routes_per_env_heads() {
+        let (gbdt, feats, _) = demo_parts();
+        let dim = gbdt.total_leaves();
+        let model = TrainedModel::PerEnv {
+            base: LrModel {
+                weights: vec![0.0; dim],
+            },
+            per_env: vec![Some(LrModel {
+                weights: vec![10.0; dim],
+            })],
+        };
+        let bundle = ModelBundle::new(gbdt, &model, BundleMetadata::default()).expect("ok");
+        let n = feats.len() / 2;
+        let env_ids: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+        let batch = bundle.score_batch(&feats, &env_ids);
+        for (k, row) in feats.chunks_exact(2).enumerate() {
+            assert_eq!(batch[k], bundle.score(row, env_ids[k]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n_features")]
+    fn score_batch_rejects_misaligned_features() {
+        let (bundle, feats) = demo_bundle();
+        let _ = bundle.score_batch(&feats[..3], &[0]);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub mod prelude {
     };
     pub use crate::pipeline::{FeatureExtractor, FeatureExtractorConfig, PipelineError};
     pub use crate::sparse::MultiHotMatrix;
-    pub use crate::timing::{OpCounter, Step, StepTimer};
+    pub use crate::timing::{Histogram, OpCounter, Step, StepTimer};
     pub use crate::trainers::{
         ErmTrainer, FineTuneTrainer, GroupDroTrainer, Irmv1Trainer, LightMirmTrainer,
         MetaIrmTrainer, TrainConfig, TrainOutput, TrainedModel, UpSamplingTrainer, VRexTrainer,

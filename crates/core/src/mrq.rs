@@ -249,6 +249,79 @@ mod tests {
                     q.push(i as f64);
                 }
                 prop_assert_eq!(q.filled(), pushes.min(len));
+                // Capacity is an invariant too: pushing never grows L.
+                prop_assert_eq!(q.len(), len);
+            }
+
+            /// The queue is exactly the last `min(k, L)` pushes in order,
+            /// zero-padded at the old end (Eq. (8) for arbitrary streams).
+            #[test]
+            fn window_is_the_newest_pushes_in_order(
+                losses in proptest::collection::vec(-10.0f64..10.0, 0..16),
+                len in 1usize..7,
+            ) {
+                let mut q = MetaReplayQueue::new(len);
+                for &l in &losses {
+                    q.push(l);
+                }
+                let k = losses.len().min(len);
+                let mut expect = vec![0.0; len - k];
+                expect.extend_from_slice(&losses[losses.len() - k..]);
+                prop_assert_eq!(&q.entries, &expect);
+            }
+
+            /// Eq. (9) verbatim: the replayed sum applies weight γ^{L−1−i}
+            /// to slot i — checked against an independently accumulated
+            /// reference (running product instead of `powi`).
+            #[test]
+            fn replay_weights_are_exact_gamma_powers(
+                losses in proptest::collection::vec(-5.0f64..5.0, 1..16),
+                len in 1usize..7,
+                gamma in 0.05f64..1.0,
+            ) {
+                let mut q = MetaReplayQueue::new(len);
+                for &l in &losses {
+                    q.push(l);
+                }
+                let mut expect = 0.0;
+                let mut weight = 1.0; // γ⁰ for the newest slot
+                for &h in q.entries.iter().rev() {
+                    expect += weight * h;
+                    weight *= gamma;
+                }
+                prop_assert!((q.replayed_sum(gamma) - expect).abs() < 1e-9);
+            }
+
+            /// The meta-gradient property behind Algorithm 2: only the
+            /// newest entry is a live variable. Perturbing the final push
+            /// by δ moves `replayed_mean` by exactly `newest_weight · δ`
+            /// (and `replayed_sum` by δ, weight γ⁰ = 1), for ANY push
+            /// history — older entries behave as constants.
+            #[test]
+            fn gradient_flows_only_through_newest_entry(
+                history in proptest::collection::vec(-5.0f64..5.0, 0..16),
+                last in -5.0f64..5.0,
+                delta in 0.01f64..2.0,
+                len in 1usize..7,
+                gamma in 0.05f64..1.0,
+            ) {
+                let mut base = MetaReplayQueue::new(len);
+                let mut bumped = MetaReplayQueue::new(len);
+                for &l in &history {
+                    base.push(l);
+                    bumped.push(l);
+                }
+                base.push(last);
+                bumped.push(last + delta);
+                let dmean = bumped.replayed_mean(gamma) - base.replayed_mean(gamma);
+                prop_assert!(
+                    (dmean - base.newest_weight(gamma) * delta).abs() < 1e-9,
+                    "d(mean)/d(newest) = {} but newest_weight = {}",
+                    dmean / delta,
+                    base.newest_weight(gamma)
+                );
+                let dsum = bumped.replayed_sum(gamma) - base.replayed_sum(gamma);
+                prop_assert!((dsum - delta).abs() < 1e-9);
             }
         }
     }

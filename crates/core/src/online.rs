@@ -59,12 +59,13 @@ pub fn replay(
     if labels.is_empty() {
         return Err(MetricError::Empty);
     }
-    if let Some(index) = incumbent_scores
-        .iter()
-        .chain(companion_scores)
-        .position(|s| s.is_nan())
-    {
-        return Err(MetricError::NanScore { index });
+    // Check the two arrays separately so the reported index is a real row
+    // of whichever stream held the NaN (a chained scan would report a
+    // companion NaN at `len + i`, an index valid in neither array).
+    for scores in [incumbent_scores, companion_scores] {
+        if let Some(index) = scores.iter().position(|s| s.is_nan()) {
+            return Err(MetricError::NanScore { index });
+        }
     }
 
     // The incumbent's approvals are the population the companion acts on.
@@ -289,6 +290,85 @@ mod tests {
         // Optimal: approve the four goods, reject both defaulters.
         assert!((0.45..=0.9).contains(&tau), "tau {tau}");
         assert!((profit - 4.0 * 0.1 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn veto_rate_is_monotone_non_increasing_in_tau() {
+        // Deterministic pseudo-random scores with ties and exact boundary
+        // values, swept on a fine grid: raising τ can only shrink the
+        // vetoed set because the rule is `score >= τ`.
+        let n = 200;
+        let labels: Vec<u8> = (0..n).map(|i| (i % 5 == 0) as u8).collect();
+        let incumbent = vec![0.0; n];
+        let companion: Vec<f64> = (0..n)
+            .map(|i| {
+                let h = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 32) % 101) as f64 / 100.0 // includes exact 0.0 and 1.0
+            })
+            .collect();
+        let grid: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+        let out = replay(&incumbent, &companion, &labels, 0.5, &grid).unwrap();
+        for w in out.curve.windows(2) {
+            assert!(
+                w[1].veto_rate <= w[0].veto_rate,
+                "veto rate rose from tau {} to {}: {} -> {}",
+                w[0].threshold,
+                w[1].threshold,
+                w[0].veto_rate,
+                w[1].veto_rate
+            );
+            assert!(w[1].false_positive_rate <= w[0].false_positive_rate);
+        }
+    }
+
+    #[test]
+    fn tau_zero_vetoes_every_approval_exactly() {
+        // Probabilities are >= 0, so `s >= 0.0` holds for every row: the
+        // companion at τ = 0 must veto the entire approved book, exactly.
+        let labels = vec![0, 1, 0, 1, 0];
+        let incumbent = vec![0.0; 5];
+        let companion = vec![0.0, 0.25, 0.5, 0.75, 1.0]; // boundary scores included
+        let out = replay(&incumbent, &companion, &labels, 0.5, &[0.0]).unwrap();
+        let p = out.curve[0];
+        assert_eq!(p.veto_rate, 1.0);
+        assert_eq!(p.false_positive_rate, 1.0);
+        assert_eq!(p.bad_debt_rate, 0.0); // nothing is kept
+    }
+
+    #[test]
+    fn tau_one_vetoes_exactly_the_certain_defaults() {
+        // Sigmoid outputs can round to exactly 1.0 for extreme logits; the
+        // `>=` rule must still veto those rows at τ = 1, and only those.
+        let labels = vec![0, 1, 0, 1];
+        let incumbent = vec![0.0; 4];
+        let companion = vec![0.3, 1.0, 0.999_999, 1.0];
+        let out = replay(&incumbent, &companion, &labels, 0.5, &[1.0]).unwrap();
+        let p = out.curve[0];
+        assert!((p.veto_rate - 0.5).abs() < 1e-12); // rows 1 and 3 only
+        assert_eq!(p.false_positive_rate, 0.0); // both vetoed rows default
+        assert_eq!(p.bad_debt_rate, 0.0); // no defaulter scores below 1.0
+                                          // And when no score reaches 1.0, τ = 1 vetoes nothing at all.
+        let soft = vec![0.3, 0.9, 0.999_999, 0.95];
+        let out = replay(&incumbent, &soft, &labels, 0.5, &[1.0]).unwrap();
+        assert_eq!(out.curve[0].veto_rate, 0.0);
+        assert!((out.curve[0].bad_debt_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_index_points_into_the_offending_array() {
+        let labels = vec![0, 1, 0];
+        let good = vec![0.1, 0.2, 0.3];
+        let mut bad = good.clone();
+        bad[1] = f64::NAN;
+        // A companion NaN at row 1 must report index 1, not len + 1.
+        assert_eq!(
+            replay(&good, &bad, &labels, 0.5, &[0.5]).unwrap_err(),
+            MetricError::NanScore { index: 1 }
+        );
+        assert_eq!(
+            replay(&bad, &good, &labels, 0.5, &[0.5]).unwrap_err(),
+            MetricError::NanScore { index: 1 }
+        );
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Regenerate the golden conformance snapshot
+//! (`results/golden/table_metrics.json`) from the pinned configuration in
+//! `lightmirm_experiments::golden`. Run this only when a numeric change is
+//! intentional, and commit the refreshed snapshot together with the change
+//! that caused it (policy in EXPERIMENTS.md).
+
+use lightmirm_experiments::golden;
+
+fn main() {
+    let out_dir = std::env::args()
+        .skip(1)
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "results/golden".to_string());
+    let snapshot = golden::compute_golden();
+    std::fs::create_dir_all(&out_dir).expect("create golden dir");
+    let path = std::path::Path::new(&out_dir).join("table_metrics.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&snapshot).expect("serialize") + "\n",
+    )
+    .expect("write snapshot");
+    println!("[written] {}", path.display());
+    for m in snapshot["methods"].as_array().expect("methods array") {
+        println!(
+            "  {:<22} mKS {:.4}  wKS {:.4}  mAUC {:.4}  wAUC {:.4}",
+            m["name"].as_str().unwrap_or("?"),
+            m["m_ks"].as_f64().unwrap_or(f64::NAN),
+            m["w_ks"].as_f64().unwrap_or(f64::NAN),
+            m["m_auc"].as_f64().unwrap_or(f64::NAN),
+            m["w_auc"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
+}

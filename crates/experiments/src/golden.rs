@@ -1,0 +1,199 @@
+//! Golden conformance snapshots.
+//!
+//! A pinned, fully deterministic seeded run of the paper's Table I/II
+//! method comparison, frozen into `results/golden/table_metrics.json`.
+//! The tier-1 test `tests/golden_conformance.rs` reruns the identical
+//! pipeline and fails when any metric drifts beyond [`TOLERANCE`] — the
+//! regression tripwire for every numeric layer at once (data generator,
+//! GBDT, transform, kernels, trainers, evaluation).
+//!
+//! Regenerate after an *intentional* numeric change with
+//! `cargo run --release -p lightmirm-experiments --bin golden`, and say
+//! why in the commit message (policy in EXPERIMENTS.md).
+
+use crate::{build_world, run_method, summarize, ExpConfig, Method};
+
+/// Drift tolerance for golden comparisons. Every stage of the pipeline is
+/// deterministic (fixed seeds, ordered chunked reductions), so unchanged
+/// code reproduces the snapshot *bit-exactly* — JSON round-trips through
+/// `float_roundtrip` parsing without loss. The epsilon only forgives
+/// last-bit differences from a legitimately reordered-but-equivalent
+/// compile (e.g. a new rustc fusing operations differently).
+pub const TOLERANCE: f64 = 1e-9;
+
+/// The pinned world/training configuration. Small enough for tier-1
+/// (seconds, not minutes), large enough that every method trains and all
+/// provinces clear the evaluation floor. Changing ANY field invalidates
+/// the snapshot — regenerate it in the same commit.
+pub fn golden_config() -> ExpConfig {
+    ExpConfig {
+        rows: 10_000,
+        seed: 7,
+        epochs: 6,
+        baseline_epochs: 10,
+        trees: 8,
+        min_eval_rows: 20,
+        n_seeds: 1,
+        out_dir: std::path::PathBuf::from("results"),
+    }
+}
+
+/// The methods pinned by the snapshot: the Table I comparison minus the
+/// O(M²) complete meta-IRM (too slow for tier-1), plus the Table II
+/// sampled variants.
+pub fn golden_methods() -> Vec<Method> {
+    vec![
+        Method::Erm,
+        Method::UpSampling,
+        Method::GroupDro,
+        Method::VRex,
+        Method::MetaIrm(Some(5)),
+        Method::MetaIrm(Some(10)),
+        Method::light_mirm_default(),
+    ]
+}
+
+/// Run the pinned pipeline and return the snapshot document.
+pub fn compute_golden() -> serde_json::Value {
+    let cfg = golden_config();
+    let world = build_world(&cfg);
+    let methods: Vec<serde_json::Value> = golden_methods()
+        .into_iter()
+        .map(|m| {
+            let run = run_method(&cfg, &world, m, None);
+            let s = summarize(&cfg, &world, &run);
+            serde_json::json!({
+                "name": m.name(),
+                "m_ks": s.m_ks,
+                "w_ks": s.w_ks,
+                "m_auc": s.m_auc,
+                "w_auc": s.w_auc,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "snapshot": "table_metrics",
+        "tolerance": TOLERANCE,
+        "config": serde_json::json!({
+            "rows": cfg.rows,
+            "seed": cfg.seed,
+            "epochs": cfg.epochs,
+            "baseline_epochs": cfg.baseline_epochs,
+            "trees": cfg.trees,
+            "min_eval_rows": cfg.min_eval_rows,
+        }),
+        "methods": methods,
+    })
+}
+
+/// Compare a freshly computed snapshot against the pinned one. Returns a
+/// human-readable drift report, empty when conformant.
+pub fn compare_golden(pinned: &serde_json::Value, fresh: &serde_json::Value) -> Vec<String> {
+    let mut drift = Vec::new();
+    let tolerance = pinned["tolerance"].as_f64().unwrap_or(TOLERANCE);
+    let empty = Vec::new();
+    let pinned_methods = pinned["methods"].as_array().unwrap_or(&empty);
+    let fresh_methods = fresh["methods"].as_array().unwrap_or(&empty);
+    if pinned_methods.is_empty() {
+        drift.push("pinned snapshot has no methods".into());
+    }
+    for p in pinned_methods {
+        let name = p["name"].as_str().unwrap_or("?");
+        let Some(f) = fresh_methods.iter().find(|f| f["name"] == p["name"]) else {
+            drift.push(format!("{name}: missing from fresh run"));
+            continue;
+        };
+        for metric in ["m_ks", "w_ks", "m_auc", "w_auc"] {
+            let (want, got) = (p[metric].as_f64(), f[metric].as_f64());
+            match (want, got) {
+                (Some(want), Some(got)) if (want - got).abs() <= tolerance => {}
+                (Some(want), Some(got)) => drift.push(format!(
+                    "{name}.{metric}: pinned {want:.12} vs fresh {got:.12} \
+                     (|Δ| {:.3e} > {tolerance:.0e})",
+                    (want - got).abs()
+                )),
+                _ => drift.push(format!("{name}.{metric}: not a number in one snapshot")),
+            }
+        }
+    }
+    drift
+}
+
+/// A copy of `snapshot` with `methods[0].<metric>` shifted by `delta` —
+/// the perturbation hook the conformance test uses to prove the
+/// comparator actually fails on wrong numbers. Rebuilds the tree
+/// functionally (the vendored `Value` has no mutable indexing).
+///
+/// # Panics
+///
+/// Panics when the snapshot lacks a leading method with `metric`.
+pub fn perturb_first_method(
+    snapshot: &serde_json::Value,
+    metric: &str,
+    delta: f64,
+) -> serde_json::Value {
+    use serde_json::Value;
+    let mut methods = snapshot["methods"]
+        .as_array()
+        .expect("snapshot has methods")
+        .clone();
+    let mut first = methods
+        .first()
+        .and_then(Value::as_object)
+        .expect("leading method object")
+        .clone();
+    let old = first
+        .get(metric)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("leading method has metric {metric}"));
+    first.insert(metric.to_string(), Value::Float(old + delta));
+    methods[0] = Value::Object(first);
+    let mut root = snapshot.as_object().expect("snapshot object").clone();
+    root.insert("methods".to_string(), Value::Array(methods));
+    Value::Object(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_snapshot() -> serde_json::Value {
+        let erm = serde_json::json!({
+            "name": "ERM", "m_ks": 0.5, "w_ks": 0.4, "m_auc": 0.8, "w_auc": 0.7,
+        });
+        serde_json::json!({
+            "tolerance": 1e-9,
+            "methods": vec![erm],
+        })
+    }
+
+    #[test]
+    fn identical_snapshots_conform() {
+        let s = fake_snapshot();
+        assert!(compare_golden(&s, &s).is_empty());
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_is_reported() {
+        let pinned = fake_snapshot();
+        let fresh = perturb_first_method(&pinned, "m_auc", 1e-3);
+        let drift = compare_golden(&pinned, &fresh);
+        assert_eq!(drift.len(), 1);
+        assert!(drift[0].contains("ERM.m_auc"), "{}", drift[0]);
+    }
+
+    #[test]
+    fn drift_within_tolerance_is_forgiven() {
+        let pinned = fake_snapshot();
+        let fresh = perturb_first_method(&pinned, "m_ks", 1e-13);
+        assert!(compare_golden(&pinned, &fresh).is_empty());
+    }
+
+    #[test]
+    fn missing_methods_are_reported() {
+        let pinned = fake_snapshot();
+        let fresh = serde_json::json!({"methods": Vec::<serde_json::Value>::new()});
+        let drift = compare_golden(&pinned, &fresh);
+        assert!(drift.iter().any(|d| d.contains("missing")), "{drift:?}");
+    }
+}

@@ -13,6 +13,7 @@ use lightmirm_core::prelude::*;
 use lightmirm_core::trainers::TrainConfig;
 use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog};
 
+pub mod golden;
 pub mod reference;
 pub mod runs;
 

@@ -1,0 +1,45 @@
+//! Tier-1 golden conformance: rerun the pinned seeded pipeline and fail
+//! if any Table I/II metric drifts from `results/golden/table_metrics.json`
+//! beyond the documented tolerance. The numeric stack is deterministic
+//! end to end, so unchanged code reproduces the snapshot bit-exactly; a
+//! failure here means a numeric behavior change that must either be fixed
+//! or acknowledged by regenerating the snapshot (see EXPERIMENTS.md).
+
+use lightmirm_experiments::golden;
+
+fn pinned_snapshot() -> serde_json::Value {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/golden/table_metrics.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             `cargo run --release -p lightmirm-experiments --bin golden`",
+            path.display()
+        )
+    });
+    serde_json::from_str(&text).expect("snapshot parses")
+}
+
+#[test]
+fn seeded_pipeline_matches_golden_snapshot() {
+    let pinned = pinned_snapshot();
+    let fresh = golden::compute_golden();
+    let drift = golden::compare_golden(&pinned, &fresh);
+    assert!(
+        drift.is_empty(),
+        "golden conformance drift:\n  {}\nIf this change is intentional, regenerate \
+         results/golden/table_metrics.json with the `golden` binary and commit it.",
+        drift.join("\n  ")
+    );
+}
+
+#[test]
+fn comparator_flags_a_perturbed_snapshot() {
+    // The harness must demonstrably fail when a metric is wrong: perturb
+    // one pinned value past the tolerance and require a drift report.
+    let pinned = pinned_snapshot();
+    let perturbed = golden::perturb_first_method(&pinned, "m_auc", 1e-4);
+    let drift = golden::compare_golden(&pinned, &perturbed);
+    assert_eq!(drift.len(), 1, "exactly the perturbed metric: {drift:?}");
+    assert!(drift[0].contains("m_auc"), "{}", drift[0]);
+}

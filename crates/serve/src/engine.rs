@@ -1,0 +1,530 @@
+//! The micro-batched scoring engine.
+//!
+//! Architecture: submitters push requests into one bounded FIFO guarded
+//! by a mutex with two condvars (`not_empty` wakes workers, `not_full`
+//! wakes blocked submitters). Workers pull whole requests — a request is
+//! never split across micro-batches — until the batch reaches
+//! `max_batch` rows, the oldest queued request ages past `max_wait`, or
+//! shutdown is draining. Each batch is scored in one
+//! [`ModelBundle::score_batch`] call and the scores are fanned back out
+//! through per-request channels.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lightmirm_core::bundle::ModelBundle;
+use lightmirm_core::timing::Histogram;
+
+/// Tuning knobs of the engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Rows per micro-batch: a worker dispatches as soon as this many rows
+    /// are queued (a single larger request still dispatches whole).
+    pub max_batch: usize,
+    /// Deadline for partial batches: the oldest queued request never waits
+    /// longer than this for more rows to coalesce with.
+    pub max_wait: Duration,
+    /// Queue bound in rows; the backpressure threshold.
+    pub queue_capacity: usize,
+    /// Scoring worker threads.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 256,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 4096,
+            workers: 2,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (only from
+    /// [`ScoringEngine::try_submit`]; blocking submit waits instead).
+    QueueFull,
+    /// The engine is draining; no new requests are accepted.
+    ShuttingDown,
+    /// `features.len()` is not `env_ids.len() × n_features`.
+    Malformed { features: usize, expected: usize },
+    /// The request alone exceeds `queue_capacity` rows and could never be
+    /// admitted.
+    RequestTooLarge { rows: usize, capacity: usize },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "scoring queue is full"),
+            SubmitError::ShuttingDown => write!(f, "engine is shutting down"),
+            SubmitError::Malformed { features, expected } => {
+                write!(f, "{features} feature values, expected {expected}")
+            }
+            SubmitError::RequestTooLarge { rows, capacity } => {
+                write!(
+                    f,
+                    "request of {rows} rows exceeds queue capacity {capacity}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The engine died (worker panic) before answering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreError;
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine closed before the request was scored")
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// Handle to an accepted request's future scores.
+#[derive(Debug)]
+pub struct PendingScores {
+    rx: mpsc::Receiver<Vec<f64>>,
+    rows: usize,
+}
+
+impl PendingScores {
+    /// Block until the request's scores arrive (request order preserved:
+    /// scores are position-aligned with the submitted rows).
+    ///
+    /// # Errors
+    ///
+    /// [`ScoreError`] only if the engine's workers died; graceful
+    /// shutdown drains every accepted request first.
+    pub fn wait(self) -> Result<Vec<f64>, ScoreError> {
+        self.rx.recv().map_err(|_| ScoreError)
+    }
+
+    /// Rows this request holds.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// One queued scoring request.
+struct Request {
+    features: Vec<f32>,
+    env_ids: Vec<u16>,
+    enqueued_at: Instant,
+    responder: mpsc::Sender<Vec<f64>>,
+}
+
+/// Queue state behind the mutex.
+struct QueueState {
+    queue: VecDeque<Request>,
+    /// Total rows across `queue` (the backpressure quantity).
+    queued_rows: usize,
+    shutdown: bool,
+}
+
+/// Serving telemetry, updated by submitters and workers.
+#[derive(Default)]
+struct Metrics {
+    /// Per-request latency, submit → scores sent, in nanoseconds.
+    latency_ns: Histogram,
+    /// Queue depth in rows observed at each submit (after the push).
+    queue_depth: Histogram,
+    /// Rows per dispatched micro-batch.
+    batch_rows: Histogram,
+    requests: u64,
+    rows_scored: u64,
+    rejected_full: u64,
+}
+
+/// A point-in-time snapshot of the engine's histograms and counters.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EngineStats {
+    /// Requests answered or in flight.
+    pub requests: u64,
+    /// Rows scored so far.
+    pub rows_scored: u64,
+    /// `try_submit` calls bounced with [`SubmitError::QueueFull`].
+    pub rejected_full: u64,
+    /// Request latency percentiles (submit → response), nanoseconds.
+    pub latency_p50_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub latency_p99_ns: u64,
+    /// Mean request latency, nanoseconds.
+    pub latency_mean_ns: f64,
+    /// Worst observed request latency, nanoseconds.
+    pub latency_max_ns: u64,
+    /// Median queue depth in rows seen at submit time.
+    pub queue_depth_p50: u64,
+    /// Worst queue depth in rows seen at submit time.
+    pub queue_depth_max: u64,
+    /// Mean rows per dispatched micro-batch.
+    pub batch_rows_mean: f64,
+    /// Largest dispatched micro-batch, rows.
+    pub batch_rows_max: u64,
+}
+
+struct Shared {
+    bundle: ModelBundle,
+    cfg: EngineConfig,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    metrics: Mutex<Metrics>,
+}
+
+/// The embeddable scoring engine. `&self` methods are thread-safe; wrap
+/// in an `Arc` (or scoped threads) to share between submitters.
+pub struct ScoringEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScoringEngine {
+    /// Spin up the worker pool around a loaded bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `max_batch`, `queue_capacity`, or `workers` —
+    /// configuration errors, not runtime conditions.
+    pub fn new(bundle: ModelBundle, cfg: EngineConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be positive");
+        assert!(cfg.queue_capacity >= 1, "queue_capacity must be positive");
+        assert!(cfg.workers >= 1, "workers must be positive");
+        let shared = Arc::new(Shared {
+            bundle,
+            cfg: cfg.clone(),
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                queued_rows: 0,
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            metrics: Mutex::new(Metrics::default()),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lightmirm-score-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scoring worker")
+            })
+            .collect();
+        ScoringEngine { shared, workers }
+    }
+
+    /// The served bundle.
+    pub fn bundle(&self) -> &ModelBundle {
+        &self.shared.bundle
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.cfg
+    }
+
+    /// Enqueue a scoring request, blocking while the queue is at
+    /// capacity. Returns a [`PendingScores`] handle; scores come back
+    /// position-aligned with the submitted rows.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`] (everything but `QueueFull`, which blocks).
+    pub fn submit(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+    ) -> Result<PendingScores, SubmitError> {
+        self.submit_inner(features, env_ids, true)
+    }
+
+    /// Non-blocking [`ScoringEngine::submit`]: a full queue returns
+    /// [`SubmitError::QueueFull`] immediately (load shedding).
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn try_submit(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+    ) -> Result<PendingScores, SubmitError> {
+        self.submit_inner(features, env_ids, false)
+    }
+
+    /// Submit and wait: the one-call form for batch drivers.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] on rejection; a drained engine never loses an
+    /// accepted request, so the wait itself only fails on worker death.
+    pub fn score_blocking(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+    ) -> Result<Vec<f64>, SubmitError> {
+        let pending = self.submit(features, env_ids)?;
+        pending.wait().map_err(|_| SubmitError::ShuttingDown)
+    }
+
+    fn submit_inner(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+        block: bool,
+    ) -> Result<PendingScores, SubmitError> {
+        let expected = env_ids.len() * self.shared.bundle.n_features();
+        if features.len() != expected {
+            return Err(SubmitError::Malformed {
+                features: features.len(),
+                expected,
+            });
+        }
+        let rows = env_ids.len();
+        let (tx, rx) = mpsc::channel();
+        if rows == 0 {
+            // Nothing to score: answer immediately without queueing.
+            let _ = tx.send(Vec::new());
+            self.shared.metrics.lock().expect("metrics lock").requests += 1;
+            return Ok(PendingScores { rx, rows });
+        }
+        if rows > self.shared.cfg.queue_capacity {
+            return Err(SubmitError::RequestTooLarge {
+                rows,
+                capacity: self.shared.cfg.queue_capacity,
+            });
+        }
+        let mut st = self.shared.state.lock().expect("queue lock");
+        loop {
+            if st.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queued_rows + rows <= self.shared.cfg.queue_capacity {
+                break;
+            }
+            if !block {
+                drop(st);
+                self.shared
+                    .metrics
+                    .lock()
+                    .expect("metrics lock")
+                    .rejected_full += 1;
+                return Err(SubmitError::QueueFull);
+            }
+            st = self.shared.not_full.wait(st).expect("queue lock");
+        }
+        st.queue.push_back(Request {
+            features,
+            env_ids,
+            enqueued_at: Instant::now(),
+            responder: tx,
+        });
+        st.queued_rows += rows;
+        let depth = st.queued_rows;
+        drop(st);
+        self.shared.not_empty.notify_all();
+        let mut m = self.shared.metrics.lock().expect("metrics lock");
+        m.requests += 1;
+        m.queue_depth.record(depth as u64);
+        Ok(PendingScores { rx, rows })
+    }
+
+    /// Snapshot the telemetry histograms and counters.
+    pub fn stats(&self) -> EngineStats {
+        let m = self.shared.metrics.lock().expect("metrics lock");
+        EngineStats {
+            requests: m.requests,
+            rows_scored: m.rows_scored,
+            rejected_full: m.rejected_full,
+            latency_p50_ns: m.latency_ns.quantile(0.5),
+            latency_p99_ns: m.latency_ns.quantile(0.99),
+            latency_mean_ns: m.latency_ns.mean(),
+            latency_max_ns: m.latency_ns.max(),
+            queue_depth_p50: m.queue_depth.quantile(0.5),
+            queue_depth_max: m.queue_depth.max(),
+            batch_rows_mean: m.batch_rows.mean(),
+            batch_rows_max: m.batch_rows.max(),
+        }
+    }
+
+    /// Stop intake, score every queued request, join the workers, and
+    /// return the final telemetry. Pending [`PendingScores`] handles all
+    /// receive their scores before this returns.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.begin_shutdown_and_join();
+        self.stats()
+    }
+
+    fn begin_shutdown_and_join(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("queue lock");
+            st.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScoringEngine {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.begin_shutdown_and_join();
+        }
+    }
+}
+
+/// Pull micro-batches until shutdown drains the queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let Some(batch) = next_batch(shared) else {
+            return;
+        };
+        // Space just freed: wake blocked submitters.
+        shared.not_full.notify_all();
+        score_batch(shared, batch);
+    }
+}
+
+/// Block until a micro-batch is ready: `max_batch` rows queued, the
+/// oldest request past the `max_wait` deadline, or shutdown draining.
+/// Returns `None` when shut down with an empty queue.
+fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut st = shared.state.lock().expect("queue lock");
+    loop {
+        if let Some(front) = st.queue.front() {
+            let age = front.enqueued_at.elapsed();
+            if st.shutdown || st.queued_rows >= shared.cfg.max_batch || age >= shared.cfg.max_wait {
+                return Some(take_batch(&mut st, shared.cfg.max_batch));
+            }
+            let remaining = shared.cfg.max_wait - age;
+            let (guard, _timeout) = shared
+                .not_empty
+                .wait_timeout(st, remaining)
+                .expect("queue lock");
+            st = guard;
+        } else if st.shutdown {
+            return None;
+        } else {
+            st = shared.not_empty.wait(st).expect("queue lock");
+        }
+    }
+}
+
+/// Pop whole requests until the batch holds `max_batch` rows (always at
+/// least one request; an oversized request dispatches alone).
+fn take_batch(st: &mut QueueState, max_batch: usize) -> Vec<Request> {
+    let mut batch = Vec::new();
+    let mut rows = 0;
+    while let Some(front) = st.queue.front() {
+        let next = front.env_ids.len();
+        if !batch.is_empty() && rows + next > max_batch {
+            break;
+        }
+        rows += next;
+        st.queued_rows -= next;
+        batch.push(st.queue.pop_front().expect("front exists"));
+        if rows >= max_batch {
+            break;
+        }
+    }
+    batch
+}
+
+/// Score one micro-batch through the kernel batch path and fan the
+/// results back out per request.
+fn score_batch(shared: &Shared, batch: Vec<Request>) {
+    let total_rows: usize = batch.iter().map(|r| r.env_ids.len()).sum();
+    let mut features = Vec::with_capacity(total_rows * shared.bundle.n_features());
+    let mut env_ids = Vec::with_capacity(total_rows);
+    for req in &batch {
+        features.extend_from_slice(&req.features);
+        env_ids.extend_from_slice(&req.env_ids);
+    }
+    let scores = shared.bundle.score_batch(&features, &env_ids);
+    debug_assert_eq!(scores.len(), total_rows);
+
+    // Record metrics before fanning out, so a caller who has received its
+    // scores always sees them reflected in a subsequent `stats()` call.
+    {
+        let mut m = shared.metrics.lock().expect("metrics lock");
+        m.rows_scored += total_rows as u64;
+        m.batch_rows.record(total_rows as u64);
+        for req in &batch {
+            m.latency_ns.record_duration(req.enqueued_at.elapsed());
+        }
+    }
+    let mut offset = 0;
+    for req in batch {
+        let n = req.env_ids.len();
+        let slice = scores[offset..offset + n].to_vec();
+        offset += n;
+        // A dropped receiver is fine — the caller abandoned the request.
+        let _ = req.responder.send(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(rows: usize) -> Request {
+        let (tx, _rx) = mpsc::channel();
+        Request {
+            features: vec![0.0; rows],
+            env_ids: vec![0; rows],
+            enqueued_at: Instant::now(),
+            responder: tx,
+        }
+    }
+
+    fn state_of(reqs: Vec<Request>) -> QueueState {
+        let queued_rows = reqs.iter().map(|r| r.env_ids.len()).sum();
+        QueueState {
+            queue: reqs.into(),
+            queued_rows,
+            shutdown: false,
+        }
+    }
+
+    #[test]
+    fn take_batch_respects_row_budget_but_never_splits_requests() {
+        let mut st = state_of(vec![req(3), req(3), req(3)]);
+        let batch = take_batch(&mut st, 6);
+        assert_eq!(batch.len(), 2); // 3 + 3 = 6 rows exactly
+        assert_eq!(st.queued_rows, 3);
+        let batch = take_batch(&mut st, 6);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(st.queued_rows, 0);
+    }
+
+    #[test]
+    fn take_batch_dispatches_oversized_requests_alone() {
+        let mut st = state_of(vec![req(100), req(1)]);
+        let batch = take_batch(&mut st, 8);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].env_ids.len(), 100);
+        assert_eq!(st.queued_rows, 1);
+    }
+
+    #[test]
+    fn take_batch_stops_before_overflowing() {
+        let mut st = state_of(vec![req(5), req(4)]);
+        let batch = take_batch(&mut st, 8);
+        assert_eq!(batch.len(), 1); // 5 + 4 would exceed 8
+        assert_eq!(st.queued_rows, 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! `lightmirm-serve` — the embeddable online scoring engine.
+//!
+//! The offline pipeline ends in a [`lightmirm_core::bundle::ModelBundle`];
+//! this crate is what a scoring service wraps around one. Requests (one or
+//! more raw feature rows plus their province ids) enter a **bounded
+//! micro-batching work queue**: they accumulate until `max_batch` rows are
+//! waiting or the oldest request has aged past `max_wait`, are scored by a
+//! worker pool riding the batched kernel path
+//! ([`ModelBundle::score_batch`] → `core::kernels::predict_rows_into`),
+//! and the scores fan back out to each caller.
+//!
+//! Guarantees:
+//!
+//! - **Determinism** — scoring is elementwise per row, so the returned
+//!   probabilities are bit-identical to offline
+//!   `TrainedModel::predict_rows`, regardless of how the stream is split
+//!   into requests, how requests coalesce into micro-batches, or how many
+//!   workers run (verified in `tests/serve_equivalence.rs`).
+//! - **Backpressure** — the queue is bounded in rows;
+//!   [`ScoringEngine::submit`] blocks until space frees, while
+//!   [`ScoringEngine::try_submit`] returns [`SubmitError::QueueFull`]
+//!   immediately so callers can shed load.
+//! - **Graceful drain** — [`ScoringEngine::shutdown`] (and `Drop`) stops
+//!   intake, flushes every queued request, and joins the workers; no
+//!   accepted request is ever dropped.
+//! - **Telemetry** — per-request latency, queue depth, and micro-batch
+//!   size histograms built on [`lightmirm_core::timing::Histogram`],
+//!   snapshotted by [`ScoringEngine::stats`].
+
+mod engine;
+
+pub use engine::{
+    EngineConfig, EngineStats, PendingScores, ScoreError, ScoringEngine, SubmitError,
+};
