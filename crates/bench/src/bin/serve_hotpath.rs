@@ -80,6 +80,7 @@ fn run_config(
             max_wait: Duration::from_micros(500),
             queue_capacity: (4 * max_batch).max(4096),
             workers,
+            ..EngineConfig::default()
         },
     ));
     let started = Instant::now();

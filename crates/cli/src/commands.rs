@@ -6,7 +6,7 @@ use std::path::Path;
 use lightmirm_core::prelude::*;
 use lightmirm_core::trainers::TrainConfig;
 use lightmirm_metrics::{auc, ks, lift_table, psi};
-use lightmirm_serve::{EngineConfig, EngineStats, ScoringEngine};
+use lightmirm_serve::{EngineConfig, EngineStats, ScoringEngine, SubmitOptions};
 use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog, Schema};
 
 use crate::args::{ArgError, ParsedArgs};
@@ -90,8 +90,10 @@ fn save_frame(frame: &LoanFrame, path: &str) -> Result<(), CliError> {
 }
 
 fn load_bundle(path: &str) -> Result<ModelBundle, CliError> {
-    let text = std::fs::read_to_string(path)?;
-    ModelBundle::from_json(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+    ModelBundle::load_from_path(Path::new(path)).map_err(|e| match e {
+        BundleError::Io(io) => CliError::Io(io),
+        other => CliError::Data(format!("{path}: {other}")),
+    })
 }
 
 /// `generate --out world.bin [--rows N] [--seed S]` — synthesize a world.
@@ -193,7 +195,11 @@ fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
         },
     )
     .map_err(|e| CliError::Data(e.to_string()))?;
-    std::fs::write(model_path, bundle.to_json())?;
+    // Checksummed + atomic: a crash mid-write cannot leave a truncated
+    // bundle where a scoring service would pick it up.
+    bundle
+        .save_to_path(Path::new(model_path))
+        .map_err(|e| CliError::Data(format!("{model_path}: {e}")))?;
     writeln!(
         out,
         "trained {method} on {} rows ({} env-loss ops); bundle at {model_path}",
@@ -203,26 +209,56 @@ fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
     Ok(())
 }
 
-/// Build an engine from the common `--batch` / `--workers` flags.
-fn engine_from_flags(args: &ParsedArgs, bundle: ModelBundle) -> Result<ScoringEngine, CliError> {
+/// Build an engine plus per-request submit options from the common
+/// `--batch` / `--workers` / `--deadline-ms` / `--shed-watermark` /
+/// `--max-attempts` flags.
+fn engine_from_flags(
+    args: &ParsedArgs,
+    bundle: ModelBundle,
+) -> Result<(ScoringEngine, SubmitOptions), CliError> {
     let defaults = EngineConfig::default();
     let max_batch = args.get_or("batch", defaults.max_batch)?;
     let workers = args.get_or("workers", defaults.workers)?;
-    Ok(ScoringEngine::new(
+    let shed_watermark = args.get_or("shed-watermark", defaults.shed_watermark)?;
+    let max_attempts = args.get_or("max-attempts", defaults.max_attempts)?;
+    if !(shed_watermark > 0.0 && shed_watermark <= 1.0) {
+        return Err(CliError::Data(format!(
+            "--shed-watermark {shed_watermark} must be in (0, 1]"
+        )));
+    }
+    if max_attempts == 0 {
+        return Err(CliError::Data("--max-attempts must be positive".into()));
+    }
+    let deadline_ms = args.get_or("deadline-ms", 0u64)?;
+    let opts = SubmitOptions {
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        ..SubmitOptions::default()
+    };
+    let engine = ScoringEngine::new(
         bundle,
         EngineConfig {
             max_batch,
             workers,
+            shed_watermark,
+            max_attempts,
             queue_capacity: defaults.queue_capacity.max(max_batch),
             ..defaults
         },
-    ))
+    );
+    Ok((engine, opts))
 }
 
 /// Push `frame` through `engine` as requests of `chunk` rows and return
 /// the scores in row order. Blocking submits provide the backpressure:
-/// the whole frame never sits in memory twice.
-fn score_through_engine(engine: &ScoringEngine, frame: &LoanFrame, chunk: usize) -> Vec<f64> {
+/// the whole frame never sits in memory twice. Rejections and structured
+/// scoring errors (deadline, poisoning, quarantine) surface as
+/// [`CliError::Data`] instead of panicking.
+fn score_through_engine(
+    engine: &ScoringEngine,
+    frame: &LoanFrame,
+    chunk: usize,
+    opts: SubmitOptions,
+) -> Result<Vec<f64>, CliError> {
     let nf = engine.bundle().n_features();
     let chunk = chunk.max(1).min(engine.config().queue_capacity);
     let mut pending = Vec::with_capacity(frame.len().div_ceil(chunk));
@@ -235,18 +271,22 @@ fn score_through_engine(engine: &ScoringEngine, frame: &LoanFrame, chunk: usize)
             features.extend_from_slice(frame.row(k));
             env_ids.push(frame.province[k]);
         }
-        pending.push(
+        pending.push((
+            r,
             engine
-                .submit(features, env_ids)
-                .expect("engine accepts well-formed requests"),
-        );
+                .submit_with(features, env_ids, opts)
+                .map_err(|e| CliError::Data(format!("submit of rows {r}..{}: {e}", r + n)))?,
+        ));
         r += n;
     }
     let mut scores = Vec::with_capacity(frame.len());
-    for p in pending {
-        scores.extend(p.wait().expect("engine answers before shutdown"));
+    for (start, p) in pending {
+        let got = p
+            .wait()
+            .map_err(|e| CliError::Data(format!("request at row {start}: {e}")))?;
+        scores.extend(got);
     }
-    scores
+    Ok(scores)
 }
 
 fn write_engine_summary(out: &mut dyn std::io::Write, stats: &EngineStats) -> std::io::Result<()> {
@@ -261,14 +301,15 @@ fn write_engine_summary(out: &mut dyn std::io::Write, stats: &EngineStats) -> st
 }
 
 /// `score --model model.json --data world.bin --out scores.csv
-/// [--batch 256] [--workers 2]` — batch scoring through the micro-batched
-/// engine. Scores are bit-identical for any `--batch`/`--workers` choice.
+/// [--batch 256] [--workers 2] [--deadline-ms D] [--shed-watermark W]` —
+/// batch scoring through the micro-batched engine. Scores are
+/// bit-identical for any `--batch`/`--workers` choice.
 fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let bundle = load_bundle(args.required("model")?)?;
     let frame = load_frame(args.required("data")?)?;
     let out_path = args.required("out")?;
-    let engine = engine_from_flags(args, bundle)?;
-    let scores = score_through_engine(&engine, &frame, engine.config().max_batch);
+    let (engine, opts) = engine_from_flags(args, bundle)?;
+    let scores = score_through_engine(&engine, &frame, engine.config().max_batch, opts)?;
     let stats = engine.shutdown();
     let mut text = String::from("row,province,score\n");
     for (r, score) in scores.iter().enumerate() {
@@ -281,12 +322,16 @@ fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
 }
 
 /// `serve-replay --model model.json --data world.bin --out replay.json
-/// [--batch 256] [--workers 2] [--chunk 1] [--grid 40]` — the Fig. 5
-/// online companion sweep with the companion scored live through the
-/// serving engine: the held-out 2020 stream arrives as `--chunk`-row
-/// requests, the incumbent (the raw GBDT scorer) approves below the 70th
-/// percentile of its own scores, and the companion's veto threshold is
-/// swept over a `--grid`-point curve.
+/// [--batch 256] [--workers 2] [--chunk 1] [--grid 40]
+/// [--deadline-ms D] [--shed-watermark W] [--reload-model new.json]` —
+/// the Fig. 5 online companion sweep with the companion scored live
+/// through the serving engine: the held-out 2020 stream arrives as
+/// `--chunk`-row requests, the incumbent (the raw GBDT scorer) approves
+/// below the 70th percentile of its own scores, and the companion's veto
+/// threshold is swept over a `--grid`-point curve. With `--reload-model`
+/// the engine hot-reloads that bundle halfway through the stream after
+/// probe validation; a corrupt or invalid candidate is rejected and the
+/// incumbent keeps serving.
 fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let bundle = load_bundle(args.required("model")?)?;
     let frame = load_frame(args.required("data")?)?;
@@ -310,8 +355,39 @@ fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(
     let incumbent_threshold = sorted[(sorted.len() as f64 * 0.70) as usize];
 
     // The companion: the bundle served live through the engine.
-    let engine = engine_from_flags(args, bundle)?;
-    let companion = score_through_engine(&engine, &stream, chunk);
+    let (engine, opts) = engine_from_flags(args, bundle)?;
+    let companion = match args.optional("reload-model") {
+        None => score_through_engine(&engine, &stream, chunk, opts)?,
+        Some(reload_path) => {
+            // Serve the first half, hot-reload mid-stream, serve the rest.
+            let half = stream.len() / 2;
+            let first: Vec<usize> = (0..half).collect();
+            let rest: Vec<usize> = (half..stream.len()).collect();
+            let mut scores = score_through_engine(&engine, &stream.select(&first), chunk, opts)?;
+            let probe_features = stream.row(0).to_vec();
+            let probe_envs = vec![stream.province[0]];
+            match ModelBundle::load_from_path(Path::new(reload_path)) {
+                Ok(candidate) => match engine.reload(candidate, &probe_features, &probe_envs) {
+                    Ok(()) => writeln!(out, "hot-reloaded bundle from {reload_path}")?,
+                    Err(e) => writeln!(
+                        out,
+                        "reload of {reload_path} rejected ({e}); incumbent keeps serving"
+                    )?,
+                },
+                Err(e) => writeln!(
+                    out,
+                    "reload of {reload_path} refused ({e}); incumbent keeps serving"
+                )?,
+            }
+            scores.extend(score_through_engine(
+                &engine,
+                &stream.select(&rest),
+                chunk,
+                opts,
+            )?);
+            scores
+        }
+    };
     let stats = engine.shutdown();
 
     let grid: Vec<f64> = (0..=grid_points)

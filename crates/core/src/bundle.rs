@@ -4,9 +4,25 @@
 //! together, versioned, with enough metadata to audit which world and
 //! hyper-parameters produced them. [`ModelBundle`] serializes the pair to
 //! a single JSON document and checks versions on load.
+//!
+//! Two robustness layers live here:
+//!
+//! - **Durable persistence** — [`ModelBundle::save_to_path`] writes a
+//!   CRC-32-checksummed envelope atomically (`tmp` + rename), and
+//!   [`ModelBundle::load_from_path`] verifies length and checksum before
+//!   parsing, mapping truncation and bit rot to [`BundleError::Corrupt`]
+//!   instead of a confusing parse error (or, worse, a silent success).
+//! - **Input quarantine** — [`ModelBundle::score_batch_quarantined`]
+//!   splits non-finite / out-of-range rows out of a batch, scores the
+//!   clean remainder bit-identically to an all-clean batch, and reports
+//!   per-row verdicts, so one bad row cannot poison its neighbors.
+
+use std::path::Path;
 
 use lightmirm_gbdt::Gbdt;
 use serde::{Deserialize, Serialize};
+
+use crate::failpoint;
 
 use crate::lr::LrModel;
 use crate::sparse::MultiHotMatrix;
@@ -80,6 +96,11 @@ pub enum BundleError {
     VersionMismatch { found: u32, supported: u32 },
     /// Extractor and head disagree on the leaf-space dimension.
     DimensionMismatch { leaves: usize, weights: usize },
+    /// The checksummed envelope failed verification: truncated payload,
+    /// bit-flipped bytes, or a malformed header.
+    Corrupt(String),
+    /// Reading or writing the bundle file failed.
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for BundleError {
@@ -93,11 +114,115 @@ impl std::fmt::Display for BundleError {
                 f,
                 "extractor has {leaves} leaves but head has {weights} weights"
             ),
+            BundleError::Corrupt(detail) => write!(f, "corrupt bundle: {detail}"),
+            BundleError::Io(e) => write!(f, "bundle io: {e}"),
         }
     }
 }
 
 impl std::error::Error for BundleError {}
+
+impl From<std::io::Error> for BundleError {
+    fn from(e: std::io::Error) -> Self {
+        BundleError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), the envelope checksum. Table-driven;
+/// the table is built at compile time.
+fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xffff_ffff
+}
+
+/// First token of the checksummed on-disk envelope.
+const ENVELOPE_MAGIC: &str = "LMIRM-BUNDLE";
+
+/// What to do with a quarantined row's score slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuarantineFallback {
+    /// Leave `f64::NAN` in the slot; the caller must consult the
+    /// verdicts (a serving layer typically turns this into a structured
+    /// per-request error).
+    Error,
+    /// Substitute this prior default probability (e.g. the environment's
+    /// base rate) so downstream consumers keep a usable, clearly
+    /// conservative score.
+    PriorScore(f64),
+}
+
+/// Validation policy for [`ModelBundle::score_batch_quarantined`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantinePolicy {
+    /// Quarantine rows with any `|feature| > max_abs` (non-finite values
+    /// are always quarantined regardless).
+    pub max_abs: Option<f32>,
+    /// Score slot treatment for quarantined rows.
+    pub fallback: QuarantineFallback,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            max_abs: None,
+            fallback: QuarantineFallback::Error,
+        }
+    }
+}
+
+/// Why a row was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueFault {
+    /// NaN or ±infinity.
+    NonFinite,
+    /// Magnitude above the policy's `max_abs` bound.
+    OutOfRange,
+}
+
+/// One quarantined row's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowQuarantine {
+    /// Row index within the scored batch.
+    pub row: u32,
+    /// First offending feature column.
+    pub col: u32,
+    /// What was wrong with it.
+    pub fault: ValueFault,
+}
+
+/// Result of a quarantining batch score: position-aligned scores plus
+/// the verdicts for every quarantined row (sorted by row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedScores {
+    /// One score per input row. Quarantined rows hold the policy's
+    /// fallback value ([`QuarantineFallback::Error`] leaves `f64::NAN`).
+    pub scores: Vec<f64>,
+    /// Verdicts for the quarantined rows; empty means the batch was
+    /// clean and scored on the ordinary fast path.
+    pub quarantined: Vec<RowQuarantine>,
+}
 
 impl ModelBundle {
     /// Assemble a bundle.
@@ -171,7 +296,12 @@ impl ModelBundle {
     ///
     /// # Panics
     ///
-    /// Panics when `features.len() != env_ids.len() * n_features`.
+    /// Panics when `features.len() != env_ids.len() * n_features`, or
+    /// when any feature value is non-finite — a NaN input would
+    /// otherwise propagate silently into the sigmoid output. Callers
+    /// scoring untrusted rows should use
+    /// [`ModelBundle::score_batch_quarantined`], which isolates bad rows
+    /// instead of panicking.
     pub fn score_batch(&self, features: &[f32], env_ids: &[u16]) -> Vec<f64> {
         let nf = self.n_features();
         assert_eq!(
@@ -179,6 +309,14 @@ impl ModelBundle {
             env_ids.len() * nf,
             "features must hold n_features values per env_id"
         );
+        if let Some(i) = features.iter().position(|v| !v.is_finite()) {
+            panic!(
+                "non-finite feature at row {}, column {}: \
+                 quarantine inputs via score_batch_quarantined",
+                i / nf.max(1),
+                i % nf.max(1)
+            );
+        }
         let n = env_ids.len();
         if n == 0 {
             return Vec::new();
@@ -219,6 +357,201 @@ impl ModelBundle {
             }
         }
         out
+    }
+
+    /// Validation-first batch scoring: split out rows the policy
+    /// quarantines (non-finite always; `|x| > max_abs` when bounded),
+    /// score the clean remainder, and report per-row verdicts.
+    ///
+    /// Scoring is elementwise per row, so the clean rows' scores are
+    /// **bit-identical** to scoring an all-clean batch (or each row
+    /// individually) — a bad row never perturbs its batch neighbors.
+    /// Quarantined rows receive the policy's fallback value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features.len() != env_ids.len() * n_features`.
+    pub fn score_batch_quarantined(
+        &self,
+        features: &[f32],
+        env_ids: &[u16],
+        policy: &QuarantinePolicy,
+    ) -> QuarantinedScores {
+        let nf = self.n_features();
+        assert_eq!(
+            features.len(),
+            env_ids.len() * nf,
+            "features must hold n_features values per env_id"
+        );
+        let n = env_ids.len();
+        let mut quarantined = Vec::new();
+        for r in 0..n {
+            let row = &features[r * nf..(r + 1) * nf];
+            let fault = row.iter().enumerate().find_map(|(c, &v)| {
+                if !v.is_finite() {
+                    Some((c, ValueFault::NonFinite))
+                } else if policy.max_abs.is_some_and(|bound| v.abs() > bound) {
+                    Some((c, ValueFault::OutOfRange))
+                } else {
+                    None
+                }
+            });
+            if let Some((col, fault)) = fault {
+                quarantined.push(RowQuarantine {
+                    row: r as u32,
+                    col: col as u32,
+                    fault,
+                });
+            }
+        }
+        if quarantined.is_empty() {
+            return QuarantinedScores {
+                scores: self.score_batch(features, env_ids),
+                quarantined,
+            };
+        }
+        // Pack the clean rows, score them, scatter the results back.
+        let mut bad = vec![false; n];
+        for q in &quarantined {
+            bad[q.row as usize] = true;
+        }
+        let clean_n = n - quarantined.len();
+        let mut clean_features = Vec::with_capacity(clean_n * nf);
+        let mut clean_envs = Vec::with_capacity(clean_n);
+        let mut clean_rows = Vec::with_capacity(clean_n);
+        for r in 0..n {
+            if !bad[r] {
+                clean_features.extend_from_slice(&features[r * nf..(r + 1) * nf]);
+                clean_envs.push(env_ids[r]);
+                clean_rows.push(r);
+            }
+        }
+        let clean_scores = self.score_batch(&clean_features, &clean_envs);
+        let fallback = match policy.fallback {
+            QuarantineFallback::Error => f64::NAN,
+            QuarantineFallback::PriorScore(p) => p,
+        };
+        let mut scores = vec![fallback; n];
+        for (r, s) in clean_rows.into_iter().zip(clean_scores) {
+            scores[r] = s;
+        }
+        QuarantinedScores {
+            scores,
+            quarantined,
+        }
+    }
+
+    /// Serialize to the durable on-disk envelope: a header line carrying
+    /// the format version, payload CRC-32, and payload length, followed
+    /// by the JSON document. [`ModelBundle::from_envelope`] verifies all
+    /// three before parsing.
+    pub fn to_envelope(&self) -> String {
+        let payload = self.to_json();
+        let crc = crc32(payload.as_bytes());
+        format!(
+            "{ENVELOPE_MAGIC} v{BUNDLE_VERSION} crc32={crc:08x} len={}\n{payload}",
+            payload.len()
+        )
+    }
+
+    /// Parse either the checksummed envelope or (for backward
+    /// compatibility) a bare JSON bundle document.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Corrupt`] when the envelope header is malformed,
+    /// the payload is truncated, or the checksum does not match; the
+    /// [`ModelBundle::from_json`] errors otherwise.
+    pub fn from_envelope(text: &str) -> Result<Self, BundleError> {
+        let Some(rest) = text.strip_prefix(ENVELOPE_MAGIC) else {
+            // Legacy bare-JSON bundle: no integrity metadata to check.
+            return Self::from_json(text);
+        };
+        let (header, payload) = rest
+            .split_once('\n')
+            .ok_or_else(|| BundleError::Corrupt("envelope has no payload line".into()))?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        let [version, crc_field, len_field] = fields[..] else {
+            return Err(BundleError::Corrupt(format!(
+                "envelope header has {} fields, expected 3",
+                fields.len()
+            )));
+        };
+        let found_version: u32 = version
+            .strip_prefix('v')
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| BundleError::Corrupt(format!("bad envelope version {version:?}")))?;
+        if found_version != BUNDLE_VERSION {
+            return Err(BundleError::VersionMismatch {
+                found: found_version,
+                supported: BUNDLE_VERSION,
+            });
+        }
+        let expected_crc = crc_field
+            .strip_prefix("crc32=")
+            .and_then(|v| u32::from_str_radix(v, 16).ok())
+            .ok_or_else(|| BundleError::Corrupt(format!("bad checksum field {crc_field:?}")))?;
+        let expected_len: usize = len_field
+            .strip_prefix("len=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| BundleError::Corrupt(format!("bad length field {len_field:?}")))?;
+        if payload.len() != expected_len {
+            return Err(BundleError::Corrupt(format!(
+                "payload truncated: {} bytes, header says {expected_len}",
+                payload.len()
+            )));
+        }
+        let found_crc = crc32(payload.as_bytes());
+        if found_crc != expected_crc {
+            return Err(BundleError::Corrupt(format!(
+                "checksum mismatch: payload crc32 {found_crc:08x}, header says {expected_crc:08x}"
+            )));
+        }
+        Self::from_json(payload)
+    }
+
+    /// Write the checksummed envelope atomically: the bytes go to a
+    /// `<path>.tmp` sibling first and are renamed into place only after
+    /// a complete write, so a crash mid-write never leaves a truncated
+    /// bundle at `path` — the incumbent file survives intact.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Io`] on filesystem failure.
+    pub fn save_to_path(&self, path: &Path) -> Result<(), BundleError> {
+        let data = self.to_envelope();
+        let bytes = data.as_bytes();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        // Failpoint: simulate a crash partway through the write — the
+        // tmp file is left truncated and the rename never happens.
+        let cut = match failpoint::fire("bundle::partial_write") {
+            Some(failpoint::Fault::IoError) => bytes.len() / 2,
+            _ => bytes.len(),
+        };
+        std::fs::write(&tmp, &bytes[..cut])?;
+        if cut < bytes.len() {
+            return Err(BundleError::Io(std::io::Error::other(
+                "injected partial write",
+            )));
+        }
+        failpoint::io_point("bundle::rename")?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and verify a bundle written by [`ModelBundle::save_to_path`]
+    /// (or a legacy bare-JSON file).
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Io`] on read failure; the
+    /// [`ModelBundle::from_envelope`] errors otherwise.
+    pub fn load_from_path(path: &Path) -> Result<Self, BundleError> {
+        failpoint::io_point("bundle::read")?;
+        let text = std::fs::read_to_string(path)?;
+        Self::from_envelope(&text)
     }
 
     /// Score one raw feature row end to end (extract leaves, apply the
@@ -387,6 +720,113 @@ mod tests {
     fn score_batch_rejects_misaligned_features() {
         let (bundle, feats) = demo_bundle();
         let _ = bundle.score_batch(&feats[..3], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite feature at row 1, column 0")]
+    fn score_batch_panics_on_nan_instead_of_propagating() {
+        let (bundle, feats) = demo_bundle();
+        let mut feats = feats[..8].to_vec();
+        feats[2] = f32::NAN;
+        let _ = bundle.score_batch(&feats, &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn quarantine_isolates_bad_rows_and_keeps_clean_rows_bit_identical() {
+        let (bundle, feats) = demo_bundle();
+        let n = 32;
+        let clean = feats[..n * 2].to_vec();
+        let env_ids: Vec<u16> = (0..n).map(|i| (i % 3) as u16).collect();
+        let all_clean = bundle.score_batch(&clean, &env_ids);
+
+        // Poison rows 3 (NaN), 10 (+inf), 20 (-inf) in a copy.
+        let mut mixed = clean.clone();
+        mixed[3 * 2] = f32::NAN;
+        mixed[10 * 2 + 1] = f32::INFINITY;
+        mixed[20 * 2] = f32::NEG_INFINITY;
+        let out = bundle.score_batch_quarantined(&mixed, &env_ids, &QuarantinePolicy::default());
+        let bad_rows: Vec<u32> = out.quarantined.iter().map(|q| q.row).collect();
+        assert_eq!(bad_rows, [3, 10, 20]);
+        assert!(out
+            .quarantined
+            .iter()
+            .all(|q| q.fault == ValueFault::NonFinite));
+        for (r, reference) in all_clean.iter().enumerate() {
+            if bad_rows.contains(&(r as u32)) {
+                assert!(out.scores[r].is_nan(), "fallback Error leaves NaN at {r}");
+            } else {
+                // The regression guarantee: a bad neighbor cannot change
+                // a clean row's score by even one ULP.
+                assert_eq!(
+                    out.scores[r].to_bits(),
+                    reference.to_bits(),
+                    "clean row {r} drifted next to quarantined rows"
+                );
+            }
+        }
+
+        // PriorScore fallback substitutes the configured prior.
+        let prior = bundle.score_batch_quarantined(
+            &mixed,
+            &env_ids,
+            &QuarantinePolicy {
+                fallback: QuarantineFallback::PriorScore(0.03),
+                ..QuarantinePolicy::default()
+            },
+        );
+        assert_eq!(prior.scores[3], 0.03);
+        assert_eq!(prior.scores[4].to_bits(), all_clean[4].to_bits());
+    }
+
+    #[test]
+    fn quarantine_max_abs_bound_flags_out_of_range() {
+        let (bundle, feats) = demo_bundle();
+        let mut rows = feats[..8].to_vec();
+        rows[5] = 1e9;
+        let out = bundle.score_batch_quarantined(
+            &rows,
+            &[0, 0, 0, 0],
+            &QuarantinePolicy {
+                max_abs: Some(1e6),
+                fallback: QuarantineFallback::Error,
+            },
+        );
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].row, 2);
+        assert_eq!(out.quarantined[0].col, 1);
+        assert_eq!(out.quarantined[0].fault, ValueFault::OutOfRange);
+    }
+
+    #[test]
+    fn quarantine_of_clean_batch_is_fast_path_identical() {
+        let (bundle, feats) = demo_bundle();
+        let env_ids: Vec<u16> = (0..feats.len() / 2).map(|i| (i % 2) as u16).collect();
+        let plain = bundle.score_batch(&feats, &env_ids);
+        let checked =
+            bundle.score_batch_quarantined(&feats, &env_ids, &QuarantinePolicy::default());
+        assert!(checked.quarantined.is_empty());
+        assert_eq!(plain, checked.scores);
+    }
+
+    #[test]
+    fn envelope_round_trips_and_detects_tampering() {
+        let (bundle, _) = demo_bundle();
+        let env = bundle.to_envelope();
+        assert!(env.starts_with("LMIRM-BUNDLE v1 crc32="));
+        let back = ModelBundle::from_envelope(&env).expect("valid envelope");
+        assert_eq!(bundle, back);
+        // Legacy bare JSON still loads.
+        let legacy = ModelBundle::from_envelope(&bundle.to_json()).expect("legacy");
+        assert_eq!(bundle, legacy);
+        // One flipped payload byte trips the checksum.
+        let mut bytes = env.into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let tampered = String::from_utf8(bytes).expect("still utf8");
+        assert!(matches!(
+            ModelBundle::from_envelope(&tampered),
+            Err(BundleError::Corrupt(_))
+        ));
     }
 
     #[test]

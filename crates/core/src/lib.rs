@@ -53,6 +53,7 @@ pub mod bundle;
 pub mod env;
 pub mod eval;
 pub mod explain;
+pub mod failpoint;
 pub mod kernels;
 pub mod lr;
 pub mod mrq;
@@ -66,7 +67,10 @@ pub mod trainers;
 /// Convenient single-import surface.
 pub mod prelude {
     pub use crate::batch::Batcher;
-    pub use crate::bundle::{BundleError, BundleMetadata, ModelBundle, StoredModel};
+    pub use crate::bundle::{
+        BundleError, BundleMetadata, ModelBundle, QuarantineFallback, QuarantinePolicy,
+        QuarantinedScores, RowQuarantine, StoredModel, ValueFault,
+    };
     pub use crate::env::EnvDataset;
     pub use crate::eval::{evaluate, evaluate_filtered, score_rows};
     pub use crate::explain::{explain_row, Explanation, TreeContribution};

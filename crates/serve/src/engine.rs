@@ -6,17 +6,54 @@
 //! never split across micro-batches — until the batch reaches
 //! `max_batch` rows, the oldest queued request ages past `max_wait`, or
 //! shutdown is draining. Each batch is scored in one
-//! [`ModelBundle::score_batch`] call and the scores are fanned back out
-//! through per-request channels.
+//! [`ModelBundle::score_batch_quarantined`] call and the scores are
+//! fanned back out through per-request channels.
+//!
+//! Fault tolerance (the contract the chaos suite verifies): every
+//! accepted request is answered **exactly once**, with either its scores
+//! or a structured [`ScoreError`] — never a hang, never a silently wrong
+//! score.
+//!
+//! - A panic while scoring is caught with `catch_unwind`; the batch's
+//!   requests are requeued with bumped attempt counts and retried up to
+//!   `max_attempts` times, after which each fails with
+//!   [`ScoreError::Poisoned`].
+//! - A worker thread that dies outside the scoring guard is respawned by
+//!   its drop guard, so the pool never shrinks to zero.
+//! - All internal locks recover from poisoning (`PoisonError::into_inner`)
+//!   instead of cascading panics across threads.
+//! - Per-request deadlines: a dispatched batch whose every request has
+//!   already expired is dropped (each request answers
+//!   [`ScoreError::DeadlineExceeded`]); a batch with any live request is
+//!   scored whole.
+//! - Load shedding: above the `shed_watermark` fraction of queue
+//!   capacity, [`Priority::Low`] submissions are rejected with
+//!   [`SubmitError::Shed`] before the queue hard-fills.
+//! - Input quarantine: non-finite (or out-of-range) rows are split out
+//!   per the configured [`QuarantinePolicy`]; clean rows in the same
+//!   batch score bit-identically to an all-clean batch.
+//! - Hot reload: [`ScoringEngine::reload`] validates a candidate bundle
+//!   on a probe batch and swaps it in atomically; a failed validation
+//!   leaves the incumbent serving with no in-flight disruption.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lightmirm_core::bundle::ModelBundle;
+use lightmirm_core::bundle::{ModelBundle, QuarantineFallback, QuarantinePolicy};
+use lightmirm_core::failpoint;
 use lightmirm_core::timing::Histogram;
+
+/// Lock with poison recovery: a panicked holder degrades to "the state
+/// is whatever the panicking thread left" rather than wedging every
+/// other thread. All critical sections here keep the queue invariants
+/// (`queued_rows` matches the queue contents) across any panic point.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Tuning knobs of the engine.
 #[derive(Debug, Clone)]
@@ -31,6 +68,16 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Scoring worker threads.
     pub workers: usize,
+    /// Scoring attempts per request before it fails with
+    /// [`ScoreError::Poisoned`] (a request is retried when a worker
+    /// panics mid-batch).
+    pub max_attempts: u32,
+    /// Fraction of `queue_capacity` at which [`Priority::Low`]
+    /// submissions are shed with [`SubmitError::Shed`]. `1.0` disables
+    /// shedding below the hard bound.
+    pub shed_watermark: f64,
+    /// Input validation applied to every dispatched batch.
+    pub quarantine: QuarantinePolicy,
 }
 
 impl Default for EngineConfig {
@@ -40,8 +87,35 @@ impl Default for EngineConfig {
             max_wait: Duration::from_millis(2),
             queue_capacity: 4096,
             workers: 2,
+            max_attempts: 3,
+            shed_watermark: 1.0,
+            quarantine: QuarantinePolicy::default(),
         }
     }
+}
+
+/// Request priority for load shedding: under pressure (queue above the
+/// shed watermark) `Low` traffic is rejected first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Sheddable (e.g. speculative or batch-refresh traffic).
+    Low,
+    /// Ordinary traffic; only rejected when the queue hard-fills.
+    #[default]
+    Normal,
+    /// Latency-critical traffic; never shed below the hard bound.
+    High,
+}
+
+/// Per-request submission options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Answer-by budget measured from submission. A dispatched batch
+    /// whose every request has expired is dropped and each request
+    /// answers [`ScoreError::DeadlineExceeded`]; `None` never expires.
+    pub deadline: Option<Duration>,
+    /// Shedding class.
+    pub priority: Priority,
 }
 
 /// Why a submission was not accepted.
@@ -50,6 +124,9 @@ pub enum SubmitError {
     /// The bounded queue is at capacity (only from
     /// [`ScoringEngine::try_submit`]; blocking submit waits instead).
     QueueFull,
+    /// The queue is above the shed watermark and the request is
+    /// [`Priority::Low`].
+    Shed,
     /// The engine is draining; no new requests are accepted.
     ShuttingDown,
     /// `features.len()` is not `env_ids.len() × n_features`.
@@ -63,6 +140,7 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull => write!(f, "scoring queue is full"),
+            SubmitError::Shed => write!(f, "low-priority request shed at the queue watermark"),
             SubmitError::ShuttingDown => write!(f, "engine is shutting down"),
             SubmitError::Malformed { features, expected } => {
                 write!(f, "{features} feature values, expected {expected}")
@@ -79,22 +157,62 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// The engine died (worker panic) before answering.
+/// Structured outcome for an accepted-but-unanswerable request. Every
+/// accepted request terminates in scores or exactly one of these.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScoreError;
+pub enum ScoreError {
+    /// The engine closed before the request was scored (its worker pool
+    /// is gone and cannot be respawned).
+    Closed,
+    /// Scoring this request panicked on `attempts` consecutive tries —
+    /// the request (or a batch neighbor) is presumed poisonous.
+    Poisoned {
+        /// Scoring attempts made before giving up.
+        attempts: u32,
+    },
+    /// The request's deadline expired before a worker could score it.
+    DeadlineExceeded,
+    /// The request contains quarantined rows and the engine's policy is
+    /// [`QuarantineFallback::Error`].
+    Quarantined {
+        /// Request-relative indices of the offending rows.
+        rows: Vec<u32>,
+    },
+}
 
 impl std::fmt::Display for ScoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "engine closed before the request was scored")
+        match self {
+            ScoreError::Closed => write!(f, "engine closed before the request was scored"),
+            ScoreError::Poisoned { attempts } => {
+                write!(f, "request poisoned a batch on {attempts} scoring attempts")
+            }
+            ScoreError::DeadlineExceeded => write!(f, "request deadline expired unscored"),
+            ScoreError::Quarantined { rows } => {
+                write!(f, "{} row(s) quarantined by input validation", rows.len())
+            }
+        }
     }
 }
 
 impl std::error::Error for ScoreError {}
 
+/// A scored request, with any quarantine verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredResponse {
+    /// One score per submitted row. Under
+    /// [`QuarantineFallback::PriorScore`], quarantined rows hold the
+    /// prior (their indices are in `quarantined`).
+    pub scores: Vec<f64>,
+    /// Request-relative indices of quarantined rows (empty when the
+    /// request was clean).
+    pub quarantined: Vec<u32>,
+}
+
 /// Handle to an accepted request's future scores.
 #[derive(Debug)]
 pub struct PendingScores {
-    rx: mpsc::Receiver<Vec<f64>>,
+    rx: mpsc::Receiver<Result<ScoredResponse, ScoreError>>,
     rows: usize,
 }
 
@@ -104,10 +222,24 @@ impl PendingScores {
     ///
     /// # Errors
     ///
-    /// [`ScoreError`] only if the engine's workers died; graceful
-    /// shutdown drains every accepted request first.
+    /// A structured [`ScoreError`]; see its variants. Graceful shutdown
+    /// drains every accepted request first.
     pub fn wait(self) -> Result<Vec<f64>, ScoreError> {
-        self.rx.recv().map_err(|_| ScoreError)
+        self.wait_detailed().map(|r| r.scores)
+    }
+
+    /// Like [`PendingScores::wait`] but keeps the per-row quarantine
+    /// verdicts.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScoreError`].
+    pub fn wait_detailed(self) -> Result<ScoredResponse, ScoreError> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            // Senders dropped without answering: the engine died.
+            Err(_) => Err(ScoreError::Closed),
+        }
     }
 
     /// Rows this request holds.
@@ -121,7 +253,22 @@ struct Request {
     features: Vec<f32>,
     env_ids: Vec<u16>,
     enqueued_at: Instant,
-    responder: mpsc::Sender<Vec<f64>>,
+    /// Absolute expiry instant, from [`SubmitOptions::deadline`].
+    expires_at: Option<Instant>,
+    /// Scoring attempts so far (bumped when a batch panic requeues it).
+    attempts: u32,
+    responder: mpsc::Sender<Result<ScoredResponse, ScoreError>>,
+}
+
+impl Request {
+    fn expired(&self, now: Instant) -> bool {
+        self.expires_at.is_some_and(|t| t <= now)
+    }
+
+    fn answer(self, outcome: Result<ScoredResponse, ScoreError>) {
+        // A dropped receiver is fine — the caller abandoned the request.
+        let _ = self.responder.send(outcome);
+    }
 }
 
 /// Queue state behind the mutex.
@@ -144,6 +291,15 @@ struct Metrics {
     requests: u64,
     rows_scored: u64,
     rejected_full: u64,
+    shed_low_priority: u64,
+    expired: u64,
+    worker_panics: u64,
+    retried_requests: u64,
+    poisoned_requests: u64,
+    quarantined_rows: u64,
+    workers_respawned: u64,
+    reloads: u64,
+    reload_rejected: u64,
 }
 
 /// A point-in-time snapshot of the engine's histograms and counters.
@@ -155,6 +311,26 @@ pub struct EngineStats {
     pub rows_scored: u64,
     /// `try_submit` calls bounced with [`SubmitError::QueueFull`].
     pub rejected_full: u64,
+    /// Low-priority submissions shed at the watermark.
+    pub shed_low_priority: u64,
+    /// Requests answered [`ScoreError::DeadlineExceeded`] from dropped
+    /// all-expired batches.
+    pub expired: u64,
+    /// Worker panics caught while scoring a batch.
+    pub worker_panics: u64,
+    /// Requests requeued for another scoring attempt after a panic.
+    pub retried_requests: u64,
+    /// Requests that exhausted `max_attempts` and answered
+    /// [`ScoreError::Poisoned`].
+    pub poisoned_requests: u64,
+    /// Rows quarantined by input validation.
+    pub quarantined_rows: u64,
+    /// Dead worker threads replaced by their respawn guard.
+    pub workers_respawned: u64,
+    /// Successful hot reloads.
+    pub reloads: u64,
+    /// Hot reloads rejected by probe validation (incumbent kept).
+    pub reload_rejected: u64,
     /// Request latency percentiles (submit → response), nanoseconds.
     pub latency_p50_ns: u64,
     /// 99th-percentile request latency, nanoseconds.
@@ -173,13 +349,66 @@ pub struct EngineStats {
     pub batch_rows_max: u64,
 }
 
+/// Why a hot reload was rejected (the incumbent bundle keeps serving).
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The candidate expects a different raw feature width than the
+    /// incumbent; queued requests would be misrouted.
+    FeatureMismatch { incumbent: usize, candidate: usize },
+    /// The probe batch is malformed for the candidate.
+    ProbeMalformed { features: usize, expected: usize },
+    /// Scoring the probe batch panicked.
+    ProbePanicked,
+    /// The probe batch produced a non-finite score.
+    ProbeNonFinite { row: usize },
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::FeatureMismatch {
+                incumbent,
+                candidate,
+            } => write!(
+                f,
+                "candidate expects {candidate} features, incumbent serves {incumbent}"
+            ),
+            ReloadError::ProbeMalformed { features, expected } => {
+                write!(
+                    f,
+                    "probe has {features} feature values, expected {expected}"
+                )
+            }
+            ReloadError::ProbePanicked => write!(f, "candidate panicked on the probe batch"),
+            ReloadError::ProbeNonFinite { row } => {
+                write!(f, "candidate scored probe row {row} non-finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
 struct Shared {
-    bundle: ModelBundle,
+    /// The served bundle, swappable by hot reload; workers clone the
+    /// `Arc` once per batch so a swap never affects an in-flight batch.
+    bundle: Mutex<Arc<ModelBundle>>,
+    /// Raw feature width — fixed for the engine's lifetime (reload
+    /// enforces it), so submit validation needs no bundle lock.
+    n_features: usize,
     cfg: EngineConfig,
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
     metrics: Mutex<Metrics>,
+    /// Join handles of workers respawned after a thread death.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn current_bundle(&self) -> Arc<ModelBundle> {
+        Arc::clone(&lock(&self.bundle))
+    }
 }
 
 /// The embeddable scoring engine. `&self` methods are thread-safe; wrap
@@ -194,14 +423,22 @@ impl ScoringEngine {
     ///
     /// # Panics
     ///
-    /// Panics on a zero `max_batch`, `queue_capacity`, or `workers` —
+    /// Panics on a zero `max_batch`, `queue_capacity`, `workers`, or
+    /// `max_attempts`, or a `shed_watermark` outside `(0, 1]` —
     /// configuration errors, not runtime conditions.
     pub fn new(bundle: ModelBundle, cfg: EngineConfig) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be positive");
         assert!(cfg.queue_capacity >= 1, "queue_capacity must be positive");
         assert!(cfg.workers >= 1, "workers must be positive");
+        assert!(cfg.max_attempts >= 1, "max_attempts must be positive");
+        assert!(
+            cfg.shed_watermark > 0.0 && cfg.shed_watermark <= 1.0,
+            "shed_watermark must be in (0, 1]"
+        );
+        let n_features = bundle.n_features();
         let shared = Arc::new(Shared {
-            bundle,
+            bundle: Mutex::new(Arc::new(bundle)),
+            n_features,
             cfg: cfg.clone(),
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -211,22 +448,18 @@ impl ScoringEngine {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             metrics: Mutex::new(Metrics::default()),
+            respawned: Mutex::new(Vec::new()),
         });
         let workers = (0..cfg.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("lightmirm-score-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn scoring worker")
-            })
+            .map(|i| spawn_worker(Arc::clone(&shared), i))
             .collect();
         ScoringEngine { shared, workers }
     }
 
-    /// The served bundle.
-    pub fn bundle(&self) -> &ModelBundle {
-        &self.shared.bundle
+    /// The currently served bundle (a snapshot: hot reload may swap the
+    /// engine's copy afterwards).
+    pub fn bundle(&self) -> Arc<ModelBundle> {
+        self.shared.current_bundle()
     }
 
     /// The engine's configuration.
@@ -246,7 +479,21 @@ impl ScoringEngine {
         features: Vec<f32>,
         env_ids: Vec<u16>,
     ) -> Result<PendingScores, SubmitError> {
-        self.submit_inner(features, env_ids, true)
+        self.submit_inner(features, env_ids, SubmitOptions::default(), true)
+    }
+
+    /// [`ScoringEngine::submit`] with a deadline and priority.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit_with(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+        opts: SubmitOptions,
+    ) -> Result<PendingScores, SubmitError> {
+        self.submit_inner(features, env_ids, opts, true)
     }
 
     /// Non-blocking [`ScoringEngine::submit`]: a full queue returns
@@ -260,7 +507,21 @@ impl ScoringEngine {
         features: Vec<f32>,
         env_ids: Vec<u16>,
     ) -> Result<PendingScores, SubmitError> {
-        self.submit_inner(features, env_ids, false)
+        self.submit_inner(features, env_ids, SubmitOptions::default(), false)
+    }
+
+    /// Non-blocking [`ScoringEngine::submit_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn try_submit_with(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+        opts: SubmitOptions,
+    ) -> Result<PendingScores, SubmitError> {
+        self.submit_inner(features, env_ids, opts, false)
     }
 
     /// Submit and wait: the one-call form for batch drivers.
@@ -268,7 +529,7 @@ impl ScoringEngine {
     /// # Errors
     ///
     /// [`SubmitError`] on rejection; a drained engine never loses an
-    /// accepted request, so the wait itself only fails on worker death.
+    /// accepted request, so the wait itself only fails on engine death.
     pub fn score_blocking(
         &self,
         features: Vec<f32>,
@@ -282,9 +543,10 @@ impl ScoringEngine {
         &self,
         features: Vec<f32>,
         env_ids: Vec<u16>,
+        opts: SubmitOptions,
         block: bool,
     ) -> Result<PendingScores, SubmitError> {
-        let expected = env_ids.len() * self.shared.bundle.n_features();
+        let expected = env_ids.len() * self.shared.n_features;
         if features.len() != expected {
             return Err(SubmitError::Malformed {
                 features: features.len(),
@@ -295,8 +557,11 @@ impl ScoringEngine {
         let (tx, rx) = mpsc::channel();
         if rows == 0 {
             // Nothing to score: answer immediately without queueing.
-            let _ = tx.send(Vec::new());
-            self.shared.metrics.lock().expect("metrics lock").requests += 1;
+            let _ = tx.send(Ok(ScoredResponse {
+                scores: Vec::new(),
+                quarantined: Vec::new(),
+            }));
+            lock(&self.shared.metrics).requests += 1;
             return Ok(PendingScores { rx, rows });
         }
         if rows > self.shared.cfg.queue_capacity {
@@ -305,48 +570,118 @@ impl ScoringEngine {
                 capacity: self.shared.cfg.queue_capacity,
             });
         }
-        let mut st = self.shared.state.lock().expect("queue lock");
+        let capacity = self.shared.cfg.queue_capacity;
+        // Low-priority traffic sheds at the watermark, before the hard
+        // bound, so critical traffic keeps headroom under pressure.
+        let shed_rows = ((capacity as f64) * self.shared.cfg.shed_watermark).ceil() as usize;
+        let mut st = lock(&self.shared.state);
         loop {
             if st.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
-            if st.queued_rows + rows <= self.shared.cfg.queue_capacity {
+            if opts.priority == Priority::Low && st.queued_rows + rows > shed_rows {
+                drop(st);
+                lock(&self.shared.metrics).shed_low_priority += 1;
+                return Err(SubmitError::Shed);
+            }
+            if st.queued_rows + rows <= capacity {
                 break;
             }
             if !block {
                 drop(st);
-                self.shared
-                    .metrics
-                    .lock()
-                    .expect("metrics lock")
-                    .rejected_full += 1;
+                lock(&self.shared.metrics).rejected_full += 1;
                 return Err(SubmitError::QueueFull);
             }
-            st = self.shared.not_full.wait(st).expect("queue lock");
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        let now = Instant::now();
         st.queue.push_back(Request {
             features,
             env_ids,
-            enqueued_at: Instant::now(),
+            enqueued_at: now,
+            expires_at: opts.deadline.map(|d| now + d),
+            attempts: 0,
             responder: tx,
         });
         st.queued_rows += rows;
         let depth = st.queued_rows;
         drop(st);
         self.shared.not_empty.notify_all();
-        let mut m = self.shared.metrics.lock().expect("metrics lock");
+        let mut m = lock(&self.shared.metrics);
         m.requests += 1;
         m.queue_depth.record(depth as u64);
         Ok(PendingScores { rx, rows })
     }
 
+    /// Validate `candidate` on a probe batch, and atomically swap it in
+    /// as the served bundle when it passes. On any failure the incumbent
+    /// keeps serving — in-flight and queued requests are unaffected
+    /// either way, because workers pin the bundle per batch.
+    ///
+    /// An empty probe validates dimensions only.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReloadError`]; on error the swap did not happen.
+    pub fn reload(
+        &self,
+        candidate: ModelBundle,
+        probe_features: &[f32],
+        probe_env_ids: &[u16],
+    ) -> Result<(), ReloadError> {
+        let reject = |e: ReloadError| {
+            lock(&self.shared.metrics).reload_rejected += 1;
+            Err(e)
+        };
+        if candidate.n_features() != self.shared.n_features {
+            return reject(ReloadError::FeatureMismatch {
+                incumbent: self.shared.n_features,
+                candidate: candidate.n_features(),
+            });
+        }
+        let expected = probe_env_ids.len() * candidate.n_features();
+        if probe_features.len() != expected {
+            return reject(ReloadError::ProbeMalformed {
+                features: probe_features.len(),
+                expected,
+            });
+        }
+        if !probe_env_ids.is_empty() {
+            let scores = match catch_unwind(AssertUnwindSafe(|| {
+                candidate.score_batch(probe_features, probe_env_ids)
+            })) {
+                Ok(scores) => scores,
+                Err(_) => return reject(ReloadError::ProbePanicked),
+            };
+            if let Some(row) = scores.iter().position(|s| !s.is_finite()) {
+                return reject(ReloadError::ProbeNonFinite { row });
+            }
+        }
+        *lock(&self.shared.bundle) = Arc::new(candidate);
+        lock(&self.shared.metrics).reloads += 1;
+        Ok(())
+    }
+
     /// Snapshot the telemetry histograms and counters.
     pub fn stats(&self) -> EngineStats {
-        let m = self.shared.metrics.lock().expect("metrics lock");
+        let m = lock(&self.shared.metrics);
         EngineStats {
             requests: m.requests,
             rows_scored: m.rows_scored,
             rejected_full: m.rejected_full,
+            shed_low_priority: m.shed_low_priority,
+            expired: m.expired,
+            worker_panics: m.worker_panics,
+            retried_requests: m.retried_requests,
+            poisoned_requests: m.poisoned_requests,
+            quarantined_rows: m.quarantined_rows,
+            workers_respawned: m.workers_respawned,
+            reloads: m.reloads,
+            reload_rejected: m.reload_rejected,
             latency_p50_ns: m.latency_ns.quantile(0.5),
             latency_p99_ns: m.latency_ns.quantile(0.99),
             latency_mean_ns: m.latency_ns.mean(),
@@ -358,23 +693,47 @@ impl ScoringEngine {
         }
     }
 
+    /// Stop intake without joining the workers: subsequent submissions
+    /// fail with [`SubmitError::ShuttingDown`] while already-accepted
+    /// requests keep draining. Callable from any thread holding a shared
+    /// reference — the drain-from-shared-context half of
+    /// [`ScoringEngine::shutdown`].
+    pub fn begin_shutdown(&self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
     /// Stop intake, score every queued request, join the workers, and
     /// return the final telemetry. Pending [`PendingScores`] handles all
-    /// receive their scores before this returns.
+    /// receive their scores (or structured errors) before this returns.
     pub fn shutdown(mut self) -> EngineStats {
         self.begin_shutdown_and_join();
         self.stats()
     }
 
     fn begin_shutdown_and_join(&mut self) {
-        {
-            let mut st = self.shared.state.lock().expect("queue lock");
-            st.shutdown = true;
-        }
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
+        self.begin_shutdown();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Workers respawned after thread deaths register here; keep
+        // joining until the pool is fully quiescent (a joining worker can
+        // itself die and respawn a successor).
+        loop {
+            let handles: Vec<JoinHandle<()>> = {
+                let mut r = lock(&self.shared.respawned);
+                r.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -387,15 +746,57 @@ impl Drop for ScoringEngine {
     }
 }
 
+fn spawn_worker(shared: Arc<Shared>, id: usize) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("lightmirm-score-{id}"))
+        .spawn(move || worker_entry(shared, id))
+        .expect("spawn scoring worker")
+}
+
+/// Respawns a replacement worker if the thread dies by panic, so the
+/// pool never shrinks. Registered handles are joined at shutdown.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return; // normal worker exit (shutdown drain complete)
+        }
+        lock(&self.shared.metrics).workers_respawned += 1;
+        let shared = Arc::clone(&self.shared);
+        let id = self.id;
+        if let Ok(h) = std::thread::Builder::new()
+            .name(format!("lightmirm-score-{id}r"))
+            .spawn(move || worker_entry(shared, id))
+        {
+            lock(&self.shared.respawned).push(h);
+        }
+    }
+}
+
+fn worker_entry(shared: Arc<Shared>, id: usize) {
+    let _guard = RespawnGuard {
+        shared: Arc::clone(&shared),
+        id,
+    };
+    worker_loop(&shared);
+}
+
 /// Pull micro-batches until shutdown drains the queue.
 fn worker_loop(shared: &Shared) {
     loop {
+        // Chaos site: a panic here escapes the scoring guard and kills
+        // the thread, exercising the respawn path.
+        failpoint::pause_or_panic("serve::worker_loop");
         let Some(batch) = next_batch(shared) else {
             return;
         };
         // Space just freed: wake blocked submitters.
         shared.not_full.notify_all();
-        score_batch(shared, batch);
+        process_batch(shared, batch);
     }
 }
 
@@ -403,7 +804,7 @@ fn worker_loop(shared: &Shared) {
 /// oldest request past the `max_wait` deadline, or shutdown draining.
 /// Returns `None` when shut down with an empty queue.
 fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
-    let mut st = shared.state.lock().expect("queue lock");
+    let mut st = lock(&shared.state);
     loop {
         if let Some(front) = st.queue.front() {
             let age = front.enqueued_at.elapsed();
@@ -414,12 +815,15 @@ fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
             let (guard, _timeout) = shared
                 .not_empty
                 .wait_timeout(st, remaining)
-                .expect("queue lock");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             st = guard;
         } else if st.shutdown {
             return None;
         } else {
-            st = shared.not_empty.wait(st).expect("queue lock");
+            st = shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -444,36 +848,118 @@ fn take_batch(st: &mut QueueState, max_batch: usize) -> Vec<Request> {
     batch
 }
 
-/// Score one micro-batch through the kernel batch path and fan the
-/// results back out per request.
-fn score_batch(shared: &Shared, batch: Vec<Request>) {
+/// Handle one dispatched micro-batch: deadline triage, quarantining
+/// score under a panic guard, and fan-out (or requeue on panic).
+fn process_batch(shared: &Shared, batch: Vec<Request>) {
+    let now = Instant::now();
+    // Deadline triage: a batch with no live request is dropped whole. A
+    // mixed batch scores whole — expired members still get their scores,
+    // since the work is done anyway.
+    if batch.iter().all(|r| r.expired(now)) {
+        lock(&shared.metrics).expired += batch.len() as u64;
+        for req in batch {
+            req.answer(Err(ScoreError::DeadlineExceeded));
+        }
+        return;
+    }
+    // Chaos site: stall a dispatch without corrupting it.
+    failpoint::pause_or_panic("serve::dispatch_delay");
+
     let total_rows: usize = batch.iter().map(|r| r.env_ids.len()).sum();
-    let mut features = Vec::with_capacity(total_rows * shared.bundle.n_features());
+    let bundle = shared.current_bundle();
+    let mut features = Vec::with_capacity(total_rows * bundle.n_features());
     let mut env_ids = Vec::with_capacity(total_rows);
     for req in &batch {
         features.extend_from_slice(&req.features);
         env_ids.extend_from_slice(&req.env_ids);
     }
-    let scores = shared.bundle.score_batch(&features, &env_ids);
-    debug_assert_eq!(scores.len(), total_rows);
+    // The panic guard: a poisoned batch (bug, bad model arithmetic, or
+    // injected fault) must not take the worker — or the engine — down.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        failpoint::pause_or_panic("serve::score_batch");
+        bundle.score_batch_quarantined(&features, &env_ids, &shared.cfg.quarantine)
+    }));
+    match outcome {
+        Ok(scored) => fan_out(shared, batch, scored),
+        Err(_) => requeue_or_poison(shared, batch),
+    }
+}
+
+/// Deliver a scored batch: record metrics, then slice per request and
+/// map quarantine verdicts to the configured fallback.
+fn fan_out(
+    shared: &Shared,
+    batch: Vec<Request>,
+    scored: lightmirm_core::bundle::QuarantinedScores,
+) {
+    let total_rows: usize = batch.iter().map(|r| r.env_ids.len()).sum();
+    debug_assert_eq!(scored.scores.len(), total_rows);
 
     // Record metrics before fanning out, so a caller who has received its
     // scores always sees them reflected in a subsequent `stats()` call.
     {
-        let mut m = shared.metrics.lock().expect("metrics lock");
+        let mut m = lock(&shared.metrics);
         m.rows_scored += total_rows as u64;
         m.batch_rows.record(total_rows as u64);
+        m.quarantined_rows += scored.quarantined.len() as u64;
         for req in &batch {
             m.latency_ns.record_duration(req.enqueued_at.elapsed());
         }
     }
-    let mut offset = 0;
+    let mut bad_iter = scored.quarantined.iter().peekable();
+    let mut offset = 0u32;
     for req in batch {
-        let n = req.env_ids.len();
-        let slice = scores[offset..offset + n].to_vec();
+        let n = req.env_ids.len() as u32;
+        let scores = scored.scores[offset as usize..(offset + n) as usize].to_vec();
+        let mut quarantined = Vec::new();
+        while let Some(q) = bad_iter.peek() {
+            if q.row < offset + n {
+                quarantined.push(q.row - offset);
+                bad_iter.next();
+            } else {
+                break;
+            }
+        }
         offset += n;
-        // A dropped receiver is fine — the caller abandoned the request.
-        let _ = req.responder.send(slice);
+        let errors = matches!(shared.cfg.quarantine.fallback, QuarantineFallback::Error);
+        if errors && !quarantined.is_empty() {
+            req.answer(Err(ScoreError::Quarantined { rows: quarantined }));
+        } else {
+            req.answer(Ok(ScoredResponse {
+                scores,
+                quarantined,
+            }));
+        }
+    }
+}
+
+/// A batch panicked while scoring: requeue each request for another
+/// attempt, or answer [`ScoreError::Poisoned`] once its attempts are
+/// exhausted. The requeue may transiently overshoot `queue_capacity` by
+/// one batch; backpressure reasserts as the queue drains.
+fn requeue_or_poison(shared: &Shared, batch: Vec<Request>) {
+    let mut poisoned = Vec::new();
+    {
+        let mut m = lock(&shared.metrics);
+        m.worker_panics += 1;
+        let mut st = lock(&shared.state);
+        // `rev()` so push_front preserves the batch's original order.
+        for mut req in batch.into_iter().rev() {
+            req.attempts += 1;
+            if req.attempts >= shared.cfg.max_attempts {
+                m.poisoned_requests += 1;
+                poisoned.push(req);
+            } else {
+                m.retried_requests += 1;
+                st.queued_rows += req.env_ids.len();
+                st.queue.push_front(req);
+            }
+        }
+    }
+    shared.not_empty.notify_all();
+    for req in poisoned {
+        let attempts = req.attempts;
+        req.answer(Err(ScoreError::Poisoned { attempts }));
     }
 }
 
@@ -487,6 +973,8 @@ mod tests {
             features: vec![0.0; rows],
             env_ids: vec![0; rows],
             enqueued_at: Instant::now(),
+            expires_at: None,
+            attempts: 0,
             responder: tx,
         }
     }
@@ -526,5 +1014,32 @@ mod tests {
         let batch = take_batch(&mut st, 8);
         assert_eq!(batch.len(), 1); // 5 + 4 would exceed 8
         assert_eq!(st.queued_rows, 4);
+    }
+
+    #[test]
+    fn expiry_is_absolute_and_none_never_expires() {
+        let now = Instant::now();
+        let live = req(1);
+        assert!(!live.expired(now + Duration::from_secs(3600)));
+        let mut dead = req(1);
+        dead.expires_at = Some(now);
+        assert!(dead.expired(now));
+        assert!(!dead.expired(now - Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn mixed_batches_score_whole_only_all_expired_batches_drop() {
+        let now = Instant::now();
+        let mut expired = req(1);
+        expired.expires_at = Some(now - Duration::from_millis(1));
+        let live = req(1);
+        let batch = [expired, live];
+        assert!(!batch.iter().all(|r| r.expired(now)), "mixed batch is live");
+        let mut both = req(1);
+        both.expires_at = Some(now - Duration::from_millis(1));
+        let mut other = req(2);
+        other.expires_at = Some(now);
+        let batch = [both, other];
+        assert!(batch.iter().all(|r| r.expired(now)), "all expired drops");
     }
 }

@@ -19,16 +19,37 @@
 //! - **Backpressure** — the queue is bounded in rows;
 //!   [`ScoringEngine::submit`] blocks until space frees, while
 //!   [`ScoringEngine::try_submit`] returns [`SubmitError::QueueFull`]
-//!   immediately so callers can shed load.
+//!   immediately so callers can shed load. Above the configurable
+//!   `shed_watermark`, [`Priority::Low`] traffic is rejected with
+//!   [`SubmitError::Shed`] before the queue hard-fills.
+//! - **Fault isolation** — every accepted request is answered exactly
+//!   once with scores or a structured [`ScoreError`]: scoring panics are
+//!   caught and retried up to `max_attempts` (then
+//!   [`ScoreError::Poisoned`]), dead workers are respawned, locks recover
+//!   from poisoning, expired batches answer
+//!   [`ScoreError::DeadlineExceeded`], and non-finite input rows are
+//!   quarantined per [`lightmirm_core::bundle::QuarantinePolicy`] without
+//!   perturbing their batch neighbors. The `failpoints`-gated chaos suite
+//!   (`tests/chaos.rs`) injects panics, delays, and I/O errors to verify
+//!   the no-hang / no-silent-corruption contract deterministically.
+//! - **Hot reload** — [`ScoringEngine::reload`] validates a candidate
+//!   bundle on a probe batch and swaps it atomically; a failed candidate
+//!   is rolled back with the incumbent still serving and no in-flight
+//!   disruption.
 //! - **Graceful drain** — [`ScoringEngine::shutdown`] (and `Drop`) stops
-//!   intake, flushes every queued request, and joins the workers; no
-//!   accepted request is ever dropped.
-//! - **Telemetry** — per-request latency, queue depth, and micro-batch
-//!   size histograms built on [`lightmirm_core::timing::Histogram`],
-//!   snapshotted by [`ScoringEngine::stats`].
+//!   intake, flushes every queued request, and joins the workers
+//!   (including respawned ones); no accepted request is ever dropped.
+//! - **Telemetry** — per-request latency, queue depth, micro-batch size
+//!   histograms plus fault counters (panics, retries, poisoned, shed,
+//!   expired, quarantined, respawns, reloads), snapshotted by
+//!   [`ScoringEngine::stats`].
 
 mod engine;
 
 pub use engine::{
-    EngineConfig, EngineStats, PendingScores, ScoreError, ScoringEngine, SubmitError,
+    EngineConfig, EngineStats, PendingScores, Priority, ReloadError, ScoreError, ScoredResponse,
+    ScoringEngine, SubmitError, SubmitOptions,
 };
+// Re-export the quarantine vocabulary so engine embedders need not
+// depend on `lightmirm-core` directly for configuration.
+pub use lightmirm_core::bundle::{QuarantineFallback, QuarantinePolicy};

@@ -97,6 +97,7 @@ fn engine_scores_are_bit_identical_to_offline_for_any_split_and_workers() {
                 max_wait: Duration::from_millis(1),
                 queue_capacity: 1 << 20,
                 workers,
+                ..EngineConfig::default()
             };
             let got = scores_through_engine(&bundle, &stream, cfg, sizes);
             assert_eq!(
@@ -139,6 +140,7 @@ fn queue_full_backpressure_and_drain_on_shutdown() {
             max_wait: Duration::from_secs(10),
             queue_capacity: 8,
             workers: 2,
+            ..EngineConfig::default()
         },
     );
     let one = |k: usize| (stream.row(k).to_vec(), vec![stream.province[k]]);
@@ -203,6 +205,7 @@ fn blocking_submit_waits_for_space_instead_of_failing() {
             max_wait: Duration::from_micros(200),
             queue_capacity: 4,
             workers: 1,
+            ..EngineConfig::default()
         },
     ));
     let n = 200.min(stream.len());
