@@ -3,8 +3,19 @@
 //! Drives a synthetic request stream through the `lightmirm-serve`
 //! micro-batching engine across a grid of micro-batch sizes and worker
 //! counts, then writes `results/BENCH_serve.json` with rows/sec and the
-//! engine's own p50/p99 request latency for each configuration — the
+//! engine's own latency distributions for each configuration — the
 //! numbers behind the serving section of DESIGN.md.
+//!
+//! Three latency views are reported per run, because they answer
+//! different questions and conflating them overstated queueing cost:
+//!
+//! - `latency_*`: queued-to-reply, clocked from the moment the request
+//!   entered the queue. Excludes submit-side blocking, so it isolates
+//!   batching + scoring from backpressure.
+//! - `enqueue_to_reply_*`: clocked from `submit()` entry, *including*
+//!   any wait for queue space. This is what a caller experiences.
+//! - `score_*`: pure `score_batch` kernel time per dispatched batch —
+//!   the floor the other two sit on.
 //!
 //! Usage: `cargo run --release -p lightmirm-bench --bin serve_hotpath
 //! [-- --quick] [--out path.json]`. `--quick` shrinks the stream and the
@@ -169,9 +180,13 @@ fn main() {
             let rows_per_sec = frame.len() as f64 / secs;
             eprintln!(
                 "workers {workers} batch {max_batch:>5}: {rows_per_sec:>9.0} rows/s, \
-                 p50 {:>6.1}us p99 {:>7.1}us, mean dispatch {:.1} rows",
+                 queued p50 {:>6.1}us p99 {:>7.1}us, e2e p50 {:>6.1}us p99 {:>7.1}us, \
+                 score p50 {:>6.1}us/batch, mean dispatch {:.1} rows",
                 stats.latency_p50_ns as f64 / 1_000.0,
                 stats.latency_p99_ns as f64 / 1_000.0,
+                stats.enqueue_to_reply_p50_ns as f64 / 1_000.0,
+                stats.enqueue_to_reply_p99_ns as f64 / 1_000.0,
+                stats.score_p50_ns as f64 / 1_000.0,
                 stats.batch_rows_mean
             );
             runs.push(json!({
@@ -179,9 +194,19 @@ fn main() {
                 "max_batch": max_batch,
                 "secs": secs,
                 "rows_per_sec": rows_per_sec,
+                // Queued-to-reply: excludes submit-side blocking.
                 "latency_p50_us": stats.latency_p50_ns as f64 / 1_000.0,
                 "latency_p99_us": stats.latency_p99_ns as f64 / 1_000.0,
                 "latency_mean_us": stats.latency_mean_ns / 1_000.0,
+                // Enqueue-to-reply: includes any wait for queue space.
+                "enqueue_to_reply_p50_us": stats.enqueue_to_reply_p50_ns as f64 / 1_000.0,
+                "enqueue_to_reply_p99_us": stats.enqueue_to_reply_p99_ns as f64 / 1_000.0,
+                "enqueue_to_reply_mean_us": stats.enqueue_to_reply_mean_ns / 1_000.0,
+                "enqueue_to_reply_max_us": stats.enqueue_to_reply_max_ns as f64 / 1_000.0,
+                // Pure score_batch time per dispatched batch.
+                "score_p50_us": stats.score_p50_ns as f64 / 1_000.0,
+                "score_p99_us": stats.score_p99_ns as f64 / 1_000.0,
+                "score_mean_us": stats.score_mean_ns / 1_000.0,
                 "mean_dispatch_rows": stats.batch_rows_mean,
                 "max_dispatch_rows": stats.batch_rows_max,
                 "queue_depth_p50": stats.queue_depth_p50,

@@ -3,10 +3,13 @@
 
 use std::path::Path;
 
+use lightmirm_core::obs;
 use lightmirm_core::prelude::*;
 use lightmirm_core::trainers::TrainConfig;
 use lightmirm_metrics::{auc, ks, lift_table, psi};
-use lightmirm_serve::{EngineConfig, EngineStats, ScoringEngine, SubmitOptions};
+use lightmirm_serve::{
+    EngineConfig, EngineStats, Priority, ScoreError, ScoringEngine, SubmitError, SubmitOptions,
+};
 use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog, Schema};
 
 use crate::args::{ArgError, ParsedArgs};
@@ -51,10 +54,38 @@ impl From<std::io::Error> for CliError {
 /// Dispatch a parsed command line. `out` receives human-readable output
 /// (stdout in production, a buffer in tests).
 ///
+/// Every subcommand honors two observability flags: `--trace-out p.jsonl`
+/// streams spans and events to a JSON-lines file for the command's
+/// duration, and `--metrics-out p` writes a final snapshot of the global
+/// [`lightmirm_core::obs`] registry (Prometheus text, or JSON when the
+/// path ends in `.json`). Commands that run a scoring engine fold its
+/// `serve_*` telemetry into the registry before the snapshot.
+///
 /// # Errors
 ///
 /// Returns [`CliError`] for argument, IO, and data problems.
 pub fn run(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let trace_sink = match args.optional("trace-out") {
+        Some(path) => {
+            let sink = obs::JsonLinesSink::create(Path::new(path))?;
+            Some(obs::tracer().add_sink(std::sync::Arc::new(sink)))
+        }
+        None => None,
+    };
+    let result = dispatch(args, out);
+    if let Some(id) = trace_sink {
+        // Detaching flushes the sink's buffered lines.
+        obs::tracer().remove_sink(id);
+    }
+    if result.is_ok() {
+        if let Some(path) = args.optional("metrics-out") {
+            obs::export::write_snapshot(Path::new(path), &obs::registry().snapshot())?;
+        }
+    }
+    result
+}
+
+fn dispatch(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     match args.command.as_str() {
         "generate" => cmd_generate(args, out),
         "train" => cmd_train(args, out),
@@ -211,7 +242,7 @@ fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
 
 /// Build an engine plus per-request submit options from the common
 /// `--batch` / `--workers` / `--deadline-ms` / `--shed-watermark` /
-/// `--max-attempts` flags.
+/// `--max-attempts` / `--priority` flags.
 fn engine_from_flags(
     args: &ParsedArgs,
     bundle: ModelBundle,
@@ -230,9 +261,19 @@ fn engine_from_flags(
         return Err(CliError::Data("--max-attempts must be positive".into()));
     }
     let deadline_ms = args.get_or("deadline-ms", 0u64)?;
+    let priority = match args.optional("priority").unwrap_or("normal") {
+        "low" => Priority::Low,
+        "normal" => Priority::Normal,
+        "high" => Priority::High,
+        other => {
+            return Err(CliError::Data(format!(
+                "--priority {other:?} must be low | normal | high"
+            )))
+        }
+    };
     let opts = SubmitOptions {
         deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
-        ..SubmitOptions::default()
+        priority,
     };
     let engine = ScoringEngine::new(
         bundle,
@@ -248,11 +289,26 @@ fn engine_from_flags(
     Ok((engine, opts))
 }
 
+/// Slice one `n`-row request starting at `r` out of `frame`.
+fn chunk_rows(frame: &LoanFrame, nf: usize, r: usize, n: usize) -> (Vec<f32>, Vec<u16>) {
+    let mut features = Vec::with_capacity(n * nf);
+    let mut env_ids = Vec::with_capacity(n);
+    for k in r..r + n {
+        features.extend_from_slice(frame.row(k));
+        env_ids.push(frame.province[k]);
+    }
+    (features, env_ids)
+}
+
 /// Push `frame` through `engine` as requests of `chunk` rows and return
 /// the scores in row order. Blocking submits provide the backpressure:
-/// the whole frame never sits in memory twice. Rejections and structured
-/// scoring errors (deadline, poisoning, quarantine) surface as
-/// [`CliError::Data`] instead of panicking.
+/// the whole frame never sits in memory twice. Degraded-mode outcomes
+/// recover — a [`SubmitError::Shed`] low-priority request is resubmitted
+/// at [`Priority::Normal`], and a request answering
+/// [`ScoreError::DeadlineExceeded`] is rescored without a deadline (the
+/// replay must stay complete; the engine's shed/expired counters still
+/// record the pressure). Hard failures (poisoning, quarantine, engine
+/// death) surface as [`CliError::Data`] instead of panicking.
 fn score_through_engine(
     engine: &ScoringEngine,
     frame: &LoanFrame,
@@ -265,26 +321,49 @@ fn score_through_engine(
     let mut r = 0usize;
     while r < frame.len() {
         let n = chunk.min(frame.len() - r);
-        let mut features = Vec::with_capacity(n * nf);
-        let mut env_ids = Vec::with_capacity(n);
-        for k in r..r + n {
-            features.extend_from_slice(frame.row(k));
-            env_ids.push(frame.province[k]);
-        }
+        let (features, env_ids) = chunk_rows(frame, nf, r, n);
+        let submitted = match engine.submit_with(features, env_ids, opts) {
+            Err(SubmitError::Shed) => {
+                // Shed at the watermark: this driver must deliver every
+                // row, so escalate the chunk to Normal and try again.
+                let (features, env_ids) = chunk_rows(frame, nf, r, n);
+                let normal = SubmitOptions {
+                    priority: Priority::Normal,
+                    ..opts
+                };
+                engine.submit_with(features, env_ids, normal)
+            }
+            other => other,
+        };
         pending.push((
             r,
-            engine
-                .submit_with(features, env_ids, opts)
-                .map_err(|e| CliError::Data(format!("submit of rows {r}..{}: {e}", r + n)))?,
+            n,
+            submitted.map_err(|e| CliError::Data(format!("submit of rows {r}..{}: {e}", r + n)))?,
         ));
         r += n;
     }
     let mut scores = Vec::with_capacity(frame.len());
-    for (start, p) in pending {
-        let got = p
-            .wait()
-            .map_err(|e| CliError::Data(format!("request at row {start}: {e}")))?;
-        scores.extend(got);
+    for (start, n, p) in pending {
+        match p.wait() {
+            Ok(got) => scores.extend(got),
+            Err(ScoreError::DeadlineExceeded) => {
+                // The deadline lapsed while queued; rescore this chunk
+                // without one so the output stays complete. Waiting
+                // in submit order keeps `scores` row-aligned.
+                let (features, env_ids) = chunk_rows(frame, nf, start, n);
+                let patient = SubmitOptions {
+                    deadline: None,
+                    priority: Priority::Normal,
+                };
+                let got = engine
+                    .submit_with(features, env_ids, patient)
+                    .map_err(|e| CliError::Data(format!("deadline retry of row {start}: {e}")))?
+                    .wait()
+                    .map_err(|e| CliError::Data(format!("deadline retry of row {start}: {e}")))?;
+                scores.extend(got);
+            }
+            Err(e) => return Err(CliError::Data(format!("request at row {start}: {e}"))),
+        }
     }
     Ok(scores)
 }
@@ -292,16 +371,21 @@ fn score_through_engine(
 fn write_engine_summary(out: &mut dyn std::io::Write, stats: &EngineStats) -> std::io::Result<()> {
     writeln!(
         out,
-        "engine: {} requests, mean batch {:.1} rows, latency p50 {:.1}us p99 {:.1}us",
+        "engine: {} requests, mean batch {:.1} rows, latency p50 {:.1}us p99 {:.1}us \
+         (enqueue-to-reply p50 {:.1}us p99 {:.1}us, score p50 {:.1}us/batch)",
         stats.requests,
         stats.batch_rows_mean,
         stats.latency_p50_ns as f64 / 1_000.0,
-        stats.latency_p99_ns as f64 / 1_000.0
+        stats.latency_p99_ns as f64 / 1_000.0,
+        stats.enqueue_to_reply_p50_ns as f64 / 1_000.0,
+        stats.enqueue_to_reply_p99_ns as f64 / 1_000.0,
+        stats.score_p50_ns as f64 / 1_000.0
     )
 }
 
 /// `score --model model.json --data world.bin --out scores.csv
-/// [--batch 256] [--workers 2] [--deadline-ms D] [--shed-watermark W]` —
+/// [--batch 256] [--workers 2] [--deadline-ms D] [--shed-watermark W]
+/// [--priority low|normal|high] [--metrics-out M] [--trace-out T]` —
 /// batch scoring through the micro-batched engine. Scores are
 /// bit-identical for any `--batch`/`--workers` choice.
 fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -310,6 +394,9 @@ fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
     let out_path = args.required("out")?;
     let (engine, opts) = engine_from_flags(args, bundle)?;
     let scores = score_through_engine(&engine, &frame, engine.config().max_batch, opts)?;
+    // Fold the engine's serve_* telemetry into the global registry so a
+    // trailing `--metrics-out` snapshot carries it.
+    obs::registry().merge_snapshot(&engine.metrics_snapshot());
     let stats = engine.shutdown();
     let mut text = String::from("row,province,score\n");
     for (r, score) in scores.iter().enumerate() {
@@ -388,6 +475,8 @@ fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(
             scores
         }
     };
+    // As in `score`: surface serve_* telemetry through `--metrics-out`.
+    obs::registry().merge_snapshot(&engine.metrics_snapshot());
     let stats = engine.shutdown();
 
     let grid: Vec<f64> = (0..=grid_points)

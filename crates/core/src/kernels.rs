@@ -35,6 +35,30 @@ use rayon::prelude::*;
 /// (and hence the result) independent of the thread count.
 pub const CHUNK_ROWS: usize = 4096;
 
+/// Kernel-layer metric handles, resolved once. Only the fused trainer
+/// kernels record (per-call reduction latency + chunk counts); the
+/// sites are gated on `obs::enabled()` so they fold away without the
+/// `obs` feature.
+struct KernelObs {
+    fused_ns: crate::obs::HistogramHandle,
+    fused_chunks: crate::obs::Counter,
+    scratch_pools: crate::obs::Counter,
+    scratch_allocs: crate::obs::Counter,
+}
+
+fn kobs() -> &'static KernelObs {
+    static KOBS: std::sync::OnceLock<KernelObs> = std::sync::OnceLock::new();
+    KOBS.get_or_init(|| {
+        let reg = crate::obs::registry();
+        KernelObs {
+            fused_ns: reg.histogram("kernel_reduce_ns", &[("kernel", "fused")]),
+            fused_chunks: reg.counter("kernel_reduce_chunks_total", &[("kernel", "fused")]),
+            scratch_pools: reg.counter("kernel_scratch_pools_total", &[]),
+            scratch_allocs: reg.counter("kernel_scratch_allocs_total", &[]),
+        }
+    })
+}
+
 /// One chunk of the fused forward+backward pass: accumulates the
 /// unnormalized loss sum and the `inv_n`-scaled gradient over
 /// `chunk_rows`, optionally recording each row's logit.
@@ -105,21 +129,33 @@ pub fn env_loss_grad(
     assert!(!rows.is_empty(), "loss over an empty environment");
     debug_assert_eq!(grad_out.len(), theta.len());
     grad_out.fill(0.0);
+    let t0 = if crate::obs::enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
     let inv_n = 1.0 / rows.len() as f64;
-    if rows.len() <= CHUNK_ROWS {
+    let loss = if rows.len() <= CHUNK_ROWS {
         let total = fused_chunk(theta, x, labels, rows, inv_n, grad_out, None);
-        return finish_loss_grad(total, rows.len(), theta, reg, grad_out);
+        finish_loss_grad(total, rows.len(), theta, reg, grad_out)
+    } else {
+        let partials: Vec<(f64, Vec<f64>)> = rows
+            .par_chunks(CHUNK_ROWS)
+            .map(|chunk| {
+                let mut g = vec![0.0; theta.len()];
+                let s = fused_chunk(theta, x, labels, chunk, inv_n, &mut g, None);
+                (s, g)
+            })
+            .collect();
+        let total = merge_partials(partials, grad_out);
+        finish_loss_grad(total, rows.len(), theta, reg, grad_out)
+    };
+    if let Some(t0) = t0 {
+        let k = kobs();
+        k.fused_ns.record_duration(t0.elapsed());
+        k.fused_chunks.add(rows.len().div_ceil(CHUNK_ROWS) as u64);
     }
-    let partials: Vec<(f64, Vec<f64>)> = rows
-        .par_chunks(CHUNK_ROWS)
-        .map(|chunk| {
-            let mut g = vec![0.0; theta.len()];
-            let s = fused_chunk(theta, x, labels, chunk, inv_n, &mut g, None);
-            (s, g)
-        })
-        .collect();
-    let total = merge_partials(partials, grad_out);
-    finish_loss_grad(total, rows.len(), theta, reg, grad_out)
+    loss
 }
 
 /// [`env_loss_grad`] that additionally writes `θᵀx` of each row into
@@ -146,22 +182,34 @@ pub fn env_loss_grad_cached(
     );
     debug_assert_eq!(grad_out.len(), theta.len());
     grad_out.fill(0.0);
+    let t0 = if crate::obs::enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
     let inv_n = 1.0 / rows.len() as f64;
-    if rows.len() <= CHUNK_ROWS {
+    let loss = if rows.len() <= CHUNK_ROWS {
         let total = fused_chunk(theta, x, labels, rows, inv_n, grad_out, Some(logits_out));
-        return finish_loss_grad(total, rows.len(), theta, reg, grad_out);
+        finish_loss_grad(total, rows.len(), theta, reg, grad_out)
+    } else {
+        let partials: Vec<(f64, Vec<f64>)> = rows
+            .par_chunks(CHUNK_ROWS)
+            .zip(logits_out.par_chunks_mut(CHUNK_ROWS))
+            .map(|(chunk, lchunk)| {
+                let mut g = vec![0.0; theta.len()];
+                let s = fused_chunk(theta, x, labels, chunk, inv_n, &mut g, Some(lchunk));
+                (s, g)
+            })
+            .collect();
+        let total = merge_partials(partials, grad_out);
+        finish_loss_grad(total, rows.len(), theta, reg, grad_out)
+    };
+    if let Some(t0) = t0 {
+        let k = kobs();
+        k.fused_ns.record_duration(t0.elapsed());
+        k.fused_chunks.add(rows.len().div_ceil(CHUNK_ROWS) as u64);
     }
-    let partials: Vec<(f64, Vec<f64>)> = rows
-        .par_chunks(CHUNK_ROWS)
-        .zip(logits_out.par_chunks_mut(CHUNK_ROWS))
-        .map(|(chunk, lchunk)| {
-            let mut g = vec![0.0; theta.len()];
-            let s = fused_chunk(theta, x, labels, chunk, inv_n, &mut g, Some(lchunk));
-            (s, g)
-        })
-        .collect();
-    let total = merge_partials(partials, grad_out);
-    finish_loss_grad(total, rows.len(), theta, reg, grad_out)
+    loss
 }
 
 /// Ordered merge of chunk partials: chunk order, not completion order.
@@ -382,6 +430,11 @@ impl ScratchPool {
     /// Build a pool for environments with the given row counts, all
     /// parameter buffers sized `n_cols`.
     pub fn new(n_cols: usize, rows_per_env: &[usize]) -> Self {
+        if crate::obs::enabled() {
+            let k = kobs();
+            k.scratch_pools.inc();
+            k.scratch_allocs.add(rows_per_env.len() as u64);
+        }
         ScratchPool {
             slots: rows_per_env
                 .iter()

@@ -58,6 +58,7 @@ pub mod kernels;
 pub mod lr;
 pub mod mrq;
 pub mod nonlinear;
+pub mod obs;
 pub mod online;
 pub mod pipeline;
 pub mod sparse;
@@ -80,6 +81,9 @@ pub mod prelude {
     pub use crate::lr::{env_grad, env_hvp, env_loss, sigmoid, LrModel};
     pub use crate::mrq::MetaReplayQueue;
     pub use crate::nonlinear::{light_mirm_generic, EnvObjective, LinearObjective, MlpModel};
+    pub use crate::obs::{
+        Counter, Gauge, HistogramHandle, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot,
+    };
     pub use crate::online::{
         best_threshold, realized_profit, replay, OnlinePoint, OnlineReplay, ProfitModel,
     };

@@ -259,6 +259,35 @@ impl Histogram {
         self.max
     }
 
+    /// The raw per-bucket counts (65 power-of-two buckets; see type docs).
+    pub fn bucket_counts(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Rebuild a histogram from exported parts (the inverse of reading
+    /// [`bucket_counts`](Self::bucket_counts)/[`sum`](Self::sum)/
+    /// [`min`](Self::min)/[`max`](Self::max)). The count is derived from
+    /// the buckets so the pair can never disagree; empty buckets yield an
+    /// empty histogram regardless of `min`/`max`.
+    pub fn from_parts(buckets: [u64; 65], sum: u64, min: u64, max: u64) -> Histogram {
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return Histogram::default();
+        }
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Merge another histogram's observations into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {

@@ -12,7 +12,7 @@ use crate::kernels;
 use crate::lr::LrModel;
 use crate::timing::{OpCounter, Step, StepTimer};
 use crate::trainers::{
-    active_envs_checked, axpy_neg, EpochObserver, TrainConfig, TrainOutput, TrainedModel,
+    active_envs_checked, axpy_neg, EpochObserver, MetaObs, TrainConfig, TrainOutput, TrainedModel,
 };
 
 /// Plain Empirical Risk Minimization on the pooled binary cross entropy
@@ -53,7 +53,10 @@ impl ErmTrainer {
         let mut model = LrModel::zeros(data.n_cols());
         let mut grad = vec![0.0; data.n_cols()];
         let mut momentum = crate::trainers::Momentum::new(data.n_cols(), self.config.momentum);
+        let mobs = MetaObs::new("erm", &[]);
         for epoch in 0..self.config.epochs {
+            let _epoch_span = crate::span!("train_epoch", trainer = "erm", epoch = epoch);
+            let epoch_t0 = mobs.as_ref().map(|_| std::time::Instant::now());
             match &batcher {
                 None => {
                     timer.time(Step::Backward, || {
@@ -87,6 +90,10 @@ impl ErmTrainer {
                         momentum.step(&mut model.weights, self.config.outer_lr, &grad);
                     }
                 }
+            }
+            if let (Some(mo), Some(t0)) = (&mobs, epoch_t0) {
+                mo.outer_step.record_duration(t0.elapsed());
+                mo.epochs.inc();
             }
             if let Some(obs) = observer.as_mut() {
                 obs(epoch, &model);

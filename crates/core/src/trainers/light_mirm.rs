@@ -33,8 +33,8 @@ use crate::lr::LrModel;
 use crate::mrq::MetaReplayQueue;
 use crate::timing::{OpCounter, Step, StepTimer};
 use crate::trainers::{
-    active_envs_checked, axpy_neg, sigma_coefficients, EpochObserver, TrainConfig, TrainOutput,
-    TrainedModel,
+    active_envs_checked, axpy_neg, sigma_coefficients, EpochObserver, MetaObs, TrainConfig,
+    TrainOutput, TrainedModel,
 };
 
 /// LightMIRM trainer.
@@ -90,8 +90,10 @@ impl LightMirmTrainer {
         let mut pool = ScratchPool::new(n_cols, &env_sizes);
         let mut outer = vec![0.0; n_cols];
         let mut momentum = crate::trainers::Momentum::new(n_cols, self.config.momentum);
+        let mobs = MetaObs::new("lightmirm", &envs);
 
         for epoch in 0..self.config.epochs {
+            let _epoch_span = crate::span!("train_epoch", trainer = "lightmirm", epoch = epoch);
             // ---- sample s_m ≠ m: line 8 ----------------------------------
             // All draws happen up front on the single ChaCha stream, so
             // the sampling sequence is independent of the parallel
@@ -116,10 +118,13 @@ impl LightMirmTrainer {
             // one forward and one backward per environment.
             timer.time(Step::InnerOptimization, || {
                 let weights = &model.weights;
+                let mobs = mobs.as_ref();
                 pool.slots_mut()
                     .par_iter_mut()
                     .enumerate()
                     .for_each(|(i, slot)| {
+                        let _span = crate::span!("inner_step", env = envs[i]);
+                        let t0 = mobs.map(|_| std::time::Instant::now());
                         let EnvScratch {
                             theta_bar,
                             grad,
@@ -137,10 +142,20 @@ impl LightMirmTrainer {
                         );
                         theta_bar.copy_from_slice(weights);
                         axpy_neg(theta_bar, self.config.inner_lr, grad);
+                        if let (Some(mo), Some(t0)) = (mobs, t0) {
+                            mo.inner_step[i].record_duration(t0.elapsed());
+                        }
                     });
             });
             ops.add_forward(envs.len() as u64);
             ops.add_backward(envs.len() as u64);
+            if let Some(mo) = &mobs {
+                for &s in &sampled {
+                    if let Some(pos) = envs.iter().position(|&e| e == s) {
+                        mo.sampled_env[pos].inc();
+                    }
+                }
+            }
 
             // ---- replay: lines 9–10, env-parallel -----------------------
             let sampled_losses: Vec<f64> = timer.time(Step::MetaLoss, || {
@@ -166,6 +181,11 @@ impl LightMirmTrainer {
             // R_meta per env: the decay-normalized replayed loss.
             let meta_losses: Vec<f64> =
                 queues.iter().map(|q| q.replayed_mean(self.gamma)).collect();
+            if let Some(mo) = &mobs {
+                mo.mrq_push.add(envs.len() as u64);
+                mo.mrq_replay.add(envs.len() as u64);
+                mo.record_sigma(&meta_losses);
+            }
 
             // ---- outer update: lines 12–13 ------------------------------
             // Gradient flows only through the newest queue entry,
@@ -173,6 +193,7 @@ impl LightMirmTrainer {
             // `newest_weight`.
             let coefs = sigma_coefficients(&meta_losses, self.config.lambda);
             let w_news: Vec<f64> = queues.iter().map(|q| q.newest_weight(self.gamma)).collect();
+            let outer_t0 = mobs.as_ref().map(|_| std::time::Instant::now());
             timer.time(Step::Backward, || {
                 pool.slots_mut()
                     .par_iter_mut()
@@ -221,6 +242,10 @@ impl LightMirmTrainer {
                 }
             }
             momentum.step(&mut model.weights, self.config.outer_lr, &outer);
+            if let (Some(mo), Some(t0)) = (&mobs, outer_t0) {
+                mo.outer_step.record_duration(t0.elapsed());
+                mo.epochs.inc();
+            }
             if let Some(obs) = observer.as_mut() {
                 obs(epoch, &model);
             }

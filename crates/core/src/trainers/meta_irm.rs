@@ -27,8 +27,8 @@ use crate::kernels::{self, EnvScratch, ScratchPool};
 use crate::lr::LrModel;
 use crate::timing::{OpCounter, Step, StepTimer};
 use crate::trainers::{
-    active_envs_checked, axpy_neg, sigma_coefficients, EpochObserver, TrainConfig, TrainOutput,
-    TrainedModel,
+    active_envs_checked, axpy_neg, sigma_coefficients, EpochObserver, MetaObs, TrainConfig,
+    TrainOutput, TrainedModel,
 };
 
 /// Meta-IRM trainer; `sample_size: None` is the complete Algorithm 1,
@@ -108,8 +108,10 @@ impl MetaIrmTrainer {
         let mut pool = ScratchPool::new(n_cols, &env_sizes);
         let mut outer = vec![0.0; n_cols];
         let mut momentum = crate::trainers::Momentum::new(n_cols, self.config.momentum);
+        let mobs = MetaObs::new("meta-irm", &envs);
 
         for epoch in 0..self.config.epochs {
+            let _epoch_span = crate::span!("train_epoch", trainer = "meta-irm", epoch = epoch);
             // others[i] = environments included in R_meta(θ̄_{envs[i]}).
             // Subsets are drawn up front on the serial RNG stream (in the
             // same per-env order as before), keeping the draw sequence
@@ -140,10 +142,13 @@ impl MetaIrmTrainer {
             // caching the logits the line-10 HVP at the same θ reuses.
             timer.time(Step::InnerOptimization, || {
                 let weights = &model.weights;
+                let mobs = mobs.as_ref();
                 pool.slots_mut()
                     .par_iter_mut()
                     .enumerate()
                     .for_each(|(i, slot)| {
+                        let _span = crate::span!("inner_step", env = envs[i]);
+                        let t0 = mobs.map(|_| std::time::Instant::now());
                         let EnvScratch {
                             theta_bar,
                             grad,
@@ -161,6 +166,9 @@ impl MetaIrmTrainer {
                         );
                         theta_bar.copy_from_slice(weights);
                         axpy_neg(theta_bar, self.config.inner_lr, grad);
+                        if let (Some(mo), Some(t0)) = (mobs, t0) {
+                            mo.inner_step[i].record_duration(t0.elapsed());
+                        }
                     });
             });
             ops.add_forward(envs.len() as u64);
@@ -191,7 +199,11 @@ impl MetaIrmTrainer {
             ops.add_forward(others.iter().map(|o| o.len() as u64).sum());
 
             // ---- outer update: lines 10–11 ------------------------------
+            if let Some(mo) = &mobs {
+                mo.record_sigma(&meta_losses);
+            }
             let coefs = sigma_coefficients(&meta_losses, self.config.lambda);
+            let outer_t0 = mobs.as_ref().map(|_| std::time::Instant::now());
             timer.time(Step::Backward, || {
                 pool.slots_mut()
                     .par_iter_mut()
@@ -249,6 +261,10 @@ impl MetaIrmTrainer {
                 }
             }
             momentum.step(&mut model.weights, self.config.outer_lr, &outer);
+            if let (Some(mo), Some(t0)) = (&mobs, outer_t0) {
+                mo.outer_step.record_duration(t0.elapsed());
+                mo.epochs.inc();
+            }
             if let Some(obs) = observer.as_mut() {
                 obs(epoch, &model);
             }

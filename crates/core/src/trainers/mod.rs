@@ -143,6 +143,76 @@ pub struct TrainOutput {
 /// the experiment harness to record test-metric curves (Figs. 6/8).
 pub type EpochObserver<'a> = &'a mut dyn FnMut(usize, &LrModel);
 
+/// Pre-resolved metric handles for a training run — the trainers'
+/// bridge to [`crate::obs`]. Constructed once per `fit` (`None` when
+/// the `obs` feature is off, so instrumented sites reduce to a
+/// `Option::is_some` check on a value known to be `None`), holding one
+/// inner-step histogram and one sampled-`s_m` counter per environment
+/// so env-parallel phases record into disjoint handles.
+///
+/// Everything recorded here is observation only: nothing in the
+/// training path reads these values back, which is what keeps model
+/// outputs bit-identical with `obs` on or off.
+pub(crate) struct MetaObs {
+    /// Per-env inner-step latency (`train_inner_step_ns{trainer,env}`),
+    /// indexed like the trainer's `envs` vector.
+    pub(crate) inner_step: Vec<crate::obs::HistogramHandle>,
+    /// Outer-update latency per epoch (`train_outer_step_ns{trainer}`).
+    pub(crate) outer_step: crate::obs::HistogramHandle,
+    /// Meta-loss σ of the latest epoch (`train_meta_loss_sigma{trainer}`).
+    pub(crate) meta_sigma: crate::obs::Gauge,
+    /// MRQ pushes (`train_mrq_push_total{trainer}`).
+    pub(crate) mrq_push: crate::obs::Counter,
+    /// MRQ replayed-mean reads (`train_mrq_replay_total{trainer}`).
+    pub(crate) mrq_replay: crate::obs::Counter,
+    /// How often each env was drawn as `s_m`
+    /// (`train_sampled_env_total{trainer,env}`), indexed like `envs`.
+    pub(crate) sampled_env: Vec<crate::obs::Counter>,
+    /// Epochs completed (`train_epochs_total{trainer}`).
+    pub(crate) epochs: crate::obs::Counter,
+}
+
+impl MetaObs {
+    /// Resolve the handles against the global registry; `None` when the
+    /// `obs` feature is off.
+    pub(crate) fn new(trainer: &str, envs: &[usize]) -> Option<MetaObs> {
+        if !crate::obs::enabled() {
+            return None;
+        }
+        let reg = crate::obs::registry();
+        Some(MetaObs {
+            inner_step: envs
+                .iter()
+                .map(|&m| {
+                    reg.histogram(
+                        "train_inner_step_ns",
+                        &[("trainer", trainer), ("env", &m.to_string())],
+                    )
+                })
+                .collect(),
+            outer_step: reg.histogram("train_outer_step_ns", &[("trainer", trainer)]),
+            meta_sigma: reg.gauge("train_meta_loss_sigma", &[("trainer", trainer)]),
+            mrq_push: reg.counter("train_mrq_push_total", &[("trainer", trainer)]),
+            mrq_replay: reg.counter("train_mrq_replay_total", &[("trainer", trainer)]),
+            sampled_env: envs
+                .iter()
+                .map(|&m| {
+                    reg.counter(
+                        "train_sampled_env_total",
+                        &[("trainer", trainer), ("env", &m.to_string())],
+                    )
+                })
+                .collect(),
+            epochs: reg.counter("train_epochs_total", &[("trainer", trainer)]),
+        })
+    }
+
+    /// Record the per-epoch meta-loss spread (σ of Eq. (7)).
+    pub(crate) fn record_sigma(&self, meta_losses: &[f64]) {
+        self.meta_sigma.set(std_dev(meta_losses));
+    }
+}
+
 /// The number of active environments `M` of a dataset.
 ///
 /// # Panics

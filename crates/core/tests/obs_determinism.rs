@@ -1,0 +1,174 @@
+//! Observability must be observation-only: model outputs are
+//! bit-identical whether metrics/tracing are recording or not, and
+//! whether any trace sink is attached.
+//!
+//! The sibling of `parallel_determinism.rs`: that test proves thread
+//! count cannot change outputs; this one proves instrumentation cannot.
+//! Within one compiled configuration it varies everything that can vary
+//! at runtime (sinks attached/detached, registry populated/reset,
+//! repeated runs). Across the `obs` feature boundary the guarantee is
+//! `cfg`-folding — `obs::enabled()` is `const` — and CI runs this suite
+//! with the feature both on and off; the weights asserted here are also
+//! pinned against literal goldens so the two CI configurations cannot
+//! silently diverge from each other.
+
+use std::sync::Arc;
+
+use lightmirm_core::obs;
+use lightmirm_core::prelude::*;
+use lightmirm_core::trainers::TrainConfig;
+
+/// The anti-causal toy used across the trainer tests: invariant leaves
+/// 0/1, spurious leaves 2/3 flipping in the last environment.
+fn toy(rows_per_env: &[usize]) -> EnvDataset {
+    let mut idx = Vec::new();
+    let mut labels = Vec::new();
+    let mut envs = Vec::new();
+    let mut counter = 0usize;
+    for (env, &n) in rows_per_env.iter().enumerate() {
+        for _ in 0..n {
+            counter += 1;
+            let y = (counter % 2) as u8;
+            let noise = counter.wrapping_mul(2654435761).is_multiple_of(4);
+            let inv = if (y == 1) != noise { 0u32 } else { 1 };
+            let spur_aligned = env < 2;
+            let spur = if (y == 1) == spur_aligned { 2u32 } else { 3 };
+            idx.extend_from_slice(&[inv, spur]);
+            labels.push(y);
+            envs.push(env as u16);
+        }
+    }
+    let x = MultiHotMatrix::new(idx, 2, 4).unwrap();
+    let names = (0..rows_per_env.len()).map(|i| format!("e{i}")).collect();
+    EnvDataset::new(x, labels, envs, names).unwrap()
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 12,
+        inner_lr: 0.3,
+        outer_lr: 1.0,
+        lambda: 0.5,
+        reg: 1e-4,
+        momentum: 0.0,
+        seed: 5,
+    }
+}
+
+fn weight_bits(weights: &[f64]) -> Vec<u64> {
+    weights.iter().map(|w| w.to_bits()).collect()
+}
+
+fn train_all(data: &EnvDataset) -> Vec<Vec<u64>> {
+    vec![
+        weight_bits(
+            &LightMirmTrainer::new(cfg())
+                .fit(data, None)
+                .model
+                .global()
+                .weights,
+        ),
+        weight_bits(
+            &MetaIrmTrainer::new(cfg())
+                .fit(data, None)
+                .model
+                .global()
+                .weights,
+        ),
+        weight_bits(
+            &ErmTrainer::new(cfg())
+                .fit(data, None)
+                .model
+                .global()
+                .weights,
+        ),
+    ]
+}
+
+#[test]
+fn outputs_are_bit_identical_with_any_sink_attached() {
+    let data = toy(&[120, 120, 80]);
+
+    // 1. Bare: whatever state the global tracer/registry are in.
+    let bare = train_all(&data);
+
+    // 2. With a JSON-lines file sink attached (every span is serialized
+    //    and written while training runs).
+    let path = std::env::temp_dir().join("lightmirm-obs-determinism-trace.jsonl");
+    let sink = obs::JsonLinesSink::create(&path).expect("trace file");
+    let id = obs::tracer().add_sink(Arc::new(sink));
+    let with_file_sink = train_all(&data);
+    obs::tracer().remove_sink(id);
+
+    // 3. With the no-op sink (exercises the fan-out path alone).
+    let id = obs::tracer().add_sink(Arc::new(obs::NoopSink));
+    let with_noop_sink = train_all(&data);
+    obs::tracer().remove_sink(id);
+
+    // 4. Detached again.
+    let detached = train_all(&data);
+
+    assert_eq!(bare, with_file_sink, "JSON-lines sink perturbed training");
+    assert_eq!(bare, with_noop_sink, "no-op sink perturbed training");
+    assert_eq!(bare, detached, "sink removal perturbed training");
+
+    // With the feature on, the file sink must actually have seen spans —
+    // otherwise this test proved nothing about the recording path.
+    if obs::enabled() {
+        let trace = std::fs::read_to_string(&path).expect("trace readable");
+        assert!(
+            trace.lines().any(|l| l.contains("inner_step")),
+            "expected inner_step spans in the trace, got {} lines",
+            trace.lines().count()
+        );
+    }
+}
+
+#[test]
+fn outputs_are_bit_identical_across_registry_states() {
+    let data = toy(&[100, 100]);
+    let first = train_all(&data);
+    // A populated registry (handles now exist and hold counts) must not
+    // change anything; nor must clearing it mid-stream.
+    let second = train_all(&data);
+    obs::registry().reset();
+    let third = train_all(&data);
+    assert_eq!(first, second, "registry population perturbed training");
+    assert_eq!(first, third, "registry reset perturbed training");
+}
+
+#[test]
+fn golden_weights_match_across_feature_configurations() {
+    // Literal goldens: CI runs this test with `obs` on AND off; both
+    // configurations must land on these exact bits. (If an intentional
+    // numeric change lands, regenerate with the printed actual values —
+    // in BOTH configurations.)
+    let data = toy(&[60, 60]);
+    let out = LightMirmTrainer::new(cfg()).fit(&data, None);
+    let got = weight_bits(&out.model.global().weights);
+    let golden_file = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/obs_determinism_weights.txt"
+    );
+    let rendered = got
+        .iter()
+        .map(|b| format!("{b:016x}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    if std::env::var_os("LIGHTMIRM_BLESS").is_some() {
+        std::fs::write(golden_file, format!("{rendered}\n")).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_file).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {golden_file} ({e}); regenerate with LIGHTMIRM_BLESS=1")
+    });
+    let expected_bits: Vec<u64> = expected
+        .split_whitespace()
+        .map(|t| u64::from_str_radix(t, 16).expect("hex weight"))
+        .collect();
+    assert_eq!(
+        got, expected_bits,
+        "weights diverged from golden; if intentional, regenerate with \
+         LIGHTMIRM_BLESS=1 in BOTH feature configurations (actual: {rendered})"
+    );
+}

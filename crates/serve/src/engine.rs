@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use lightmirm_core::bundle::{ModelBundle, QuarantineFallback, QuarantinePolicy};
 use lightmirm_core::failpoint;
+use lightmirm_core::obs::MetricsSnapshot;
 use lightmirm_core::timing::Histogram;
 
 /// Lock with poison recovery: a panicked holder degrades to "the state
@@ -252,6 +253,10 @@ impl PendingScores {
 struct Request {
     features: Vec<f32>,
     env_ids: Vec<u16>,
+    /// When the submit call entered the engine — before any blocking
+    /// wait for queue space, so `submitted_at → reply` covers the
+    /// submit-side queuing that `enqueued_at → reply` misses.
+    submitted_at: Instant,
     enqueued_at: Instant,
     /// Absolute expiry instant, from [`SubmitOptions::deadline`].
     expires_at: Option<Instant>,
@@ -282,8 +287,18 @@ struct QueueState {
 /// Serving telemetry, updated by submitters and workers.
 #[derive(Default)]
 struct Metrics {
-    /// Per-request latency, submit → scores sent, in nanoseconds.
+    /// Per-request latency, queue admission → scores sent, in
+    /// nanoseconds. Starts at `enqueued_at`, so submit-side blocking on
+    /// a full queue is excluded — see `enqueue_to_reply_ns` for the
+    /// caller-observed figure.
     latency_ns: Histogram,
+    /// Per-request latency, submit-call entry → scores sent, in
+    /// nanoseconds. Includes any blocking wait for queue space, so under
+    /// backpressure this is the latency a caller actually experiences.
+    enqueue_to_reply_ns: Histogram,
+    /// Pure scoring time per delivered batch (the
+    /// `score_batch_quarantined` call alone), in nanoseconds.
+    score_ns: Histogram,
     /// Queue depth in rows observed at each submit (after the push).
     queue_depth: Histogram,
     /// Rows per dispatched micro-batch.
@@ -331,7 +346,9 @@ pub struct EngineStats {
     pub reloads: u64,
     /// Hot reloads rejected by probe validation (incumbent kept).
     pub reload_rejected: u64,
-    /// Request latency percentiles (submit → response), nanoseconds.
+    /// Median queue-admission → response latency, nanoseconds. Measured
+    /// from `enqueued_at`, so blocking in `submit` on a full queue is
+    /// **excluded** — compare with `enqueue_to_reply_p50_ns`.
     pub latency_p50_ns: u64,
     /// 99th-percentile request latency, nanoseconds.
     pub latency_p99_ns: u64,
@@ -339,6 +356,21 @@ pub struct EngineStats {
     pub latency_mean_ns: f64,
     /// Worst observed request latency, nanoseconds.
     pub latency_max_ns: u64,
+    /// Median submit-call → response latency, nanoseconds. Includes any
+    /// blocking wait for queue space: the latency a caller experiences.
+    pub enqueue_to_reply_p50_ns: u64,
+    /// 99th-percentile submit-call → response latency, nanoseconds.
+    pub enqueue_to_reply_p99_ns: u64,
+    /// Mean submit-call → response latency, nanoseconds.
+    pub enqueue_to_reply_mean_ns: f64,
+    /// Worst submit-call → response latency, nanoseconds.
+    pub enqueue_to_reply_max_ns: u64,
+    /// Median pure scoring time per delivered batch, nanoseconds.
+    pub score_p50_ns: u64,
+    /// 99th-percentile pure scoring time per batch, nanoseconds.
+    pub score_p99_ns: u64,
+    /// Mean pure scoring time per batch, nanoseconds.
+    pub score_mean_ns: f64,
     /// Median queue depth in rows seen at submit time.
     pub queue_depth_p50: u64,
     /// Worst queue depth in rows seen at submit time.
@@ -546,6 +578,7 @@ impl ScoringEngine {
         opts: SubmitOptions,
         block: bool,
     ) -> Result<PendingScores, SubmitError> {
+        let submitted_at = Instant::now();
         let expected = env_ids.len() * self.shared.n_features;
         if features.len() != expected {
             return Err(SubmitError::Malformed {
@@ -602,6 +635,7 @@ impl ScoringEngine {
         st.queue.push_back(Request {
             features,
             env_ids,
+            submitted_at,
             enqueued_at: now,
             expires_at: opts.deadline.map(|d| now + d),
             attempts: 0,
@@ -686,11 +720,61 @@ impl ScoringEngine {
             latency_p99_ns: m.latency_ns.quantile(0.99),
             latency_mean_ns: m.latency_ns.mean(),
             latency_max_ns: m.latency_ns.max(),
+            enqueue_to_reply_p50_ns: m.enqueue_to_reply_ns.quantile(0.5),
+            enqueue_to_reply_p99_ns: m.enqueue_to_reply_ns.quantile(0.99),
+            enqueue_to_reply_mean_ns: m.enqueue_to_reply_ns.mean(),
+            enqueue_to_reply_max_ns: m.enqueue_to_reply_ns.max(),
+            score_p50_ns: m.score_ns.quantile(0.5),
+            score_p99_ns: m.score_ns.quantile(0.99),
+            score_mean_ns: m.score_ns.mean(),
             queue_depth_p50: m.queue_depth.quantile(0.5),
             queue_depth_max: m.queue_depth.max(),
             batch_rows_mean: m.batch_rows.mean(),
             batch_rows_max: m.batch_rows.max(),
         }
+    }
+
+    /// Snapshot the engine's telemetry as a [`MetricsSnapshot`] with
+    /// `serve_*` metric names — the exportable superset of
+    /// [`ScoringEngine::stats`]. Unlike the flattened percentiles there,
+    /// histograms keep their full bucket shape, so snapshots can be
+    /// merged across engines and rendered as Prometheus text or JSON via
+    /// [`lightmirm_core::obs::export`]. Works with or without the `obs`
+    /// feature: it reads the engine's own always-on telemetry, not the
+    /// global registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        use lightmirm_core::obs::{HistogramSnapshot, MetricEntry, MetricKey, MetricValue};
+        let counter = |name: &str, v: u64| MetricEntry {
+            key: MetricKey::new(name, &[]),
+            value: MetricValue::Counter(v),
+        };
+        let histogram = |name: &str, h: &Histogram| MetricEntry {
+            key: MetricKey::new(name, &[]),
+            value: MetricValue::Histogram(HistogramSnapshot::from_histogram(h)),
+        };
+        let m = lock(&self.shared.metrics);
+        let mut metrics = vec![
+            counter("serve_requests_total", m.requests),
+            counter("serve_rows_scored_total", m.rows_scored),
+            counter("serve_rejected_full_total", m.rejected_full),
+            counter("serve_shed_total", m.shed_low_priority),
+            counter("serve_deadline_expired_total", m.expired),
+            counter("serve_worker_panics_total", m.worker_panics),
+            counter("serve_retried_total", m.retried_requests),
+            counter("serve_poisoned_total", m.poisoned_requests),
+            counter("serve_quarantined_rows_total", m.quarantined_rows),
+            counter("serve_workers_respawned_total", m.workers_respawned),
+            counter("serve_reloads_total", m.reloads),
+            counter("serve_reload_rejected_total", m.reload_rejected),
+            histogram("serve_request_latency_ns", &m.latency_ns),
+            histogram("serve_enqueue_to_reply_ns", &m.enqueue_to_reply_ns),
+            histogram("serve_queue_depth_rows", &m.queue_depth),
+            histogram("serve_batch_rows", &m.batch_rows),
+            histogram("serve_score_ns", &m.score_ns),
+        ];
+        drop(m);
+        metrics.sort_by(|a, b| a.key.cmp(&b.key));
+        MetricsSnapshot { metrics }
     }
 
     /// Stop intake without joining the workers: subsequent submissions
@@ -866,6 +950,7 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
     failpoint::pause_or_panic("serve::dispatch_delay");
 
     let total_rows: usize = batch.iter().map(|r| r.env_ids.len()).sum();
+    let _span = lightmirm_core::span!("process_batch", rows = total_rows, requests = batch.len());
     let bundle = shared.current_bundle();
     let mut features = Vec::with_capacity(total_rows * bundle.n_features());
     let mut env_ids = Vec::with_capacity(total_rows);
@@ -875,12 +960,16 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
     }
     // The panic guard: a poisoned batch (bug, bad model arithmetic, or
     // injected fault) must not take the worker — or the engine — down.
+    let score_start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         failpoint::pause_or_panic("serve::score_batch");
         bundle.score_batch_quarantined(&features, &env_ids, &shared.cfg.quarantine)
     }));
+    // Panicked batches don't record a score time: the batch was not
+    // scored, and its requests will be timed on the retry that delivers.
+    let score_elapsed = score_start.elapsed();
     match outcome {
-        Ok(scored) => fan_out(shared, batch, scored),
+        Ok(scored) => fan_out(shared, batch, scored, score_elapsed),
         Err(_) => requeue_or_poison(shared, batch),
     }
 }
@@ -891,6 +980,7 @@ fn fan_out(
     shared: &Shared,
     batch: Vec<Request>,
     scored: lightmirm_core::bundle::QuarantinedScores,
+    score_elapsed: Duration,
 ) {
     let total_rows: usize = batch.iter().map(|r| r.env_ids.len()).sum();
     debug_assert_eq!(scored.scores.len(), total_rows);
@@ -901,9 +991,12 @@ fn fan_out(
         let mut m = lock(&shared.metrics);
         m.rows_scored += total_rows as u64;
         m.batch_rows.record(total_rows as u64);
+        m.score_ns.record_duration(score_elapsed);
         m.quarantined_rows += scored.quarantined.len() as u64;
         for req in &batch {
             m.latency_ns.record_duration(req.enqueued_at.elapsed());
+            m.enqueue_to_reply_ns
+                .record_duration(req.submitted_at.elapsed());
         }
     }
     let mut bad_iter = scored.quarantined.iter().peekable();
@@ -972,6 +1065,7 @@ mod tests {
         Request {
             features: vec![0.0; rows],
             env_ids: vec![0; rows],
+            submitted_at: Instant::now(),
             enqueued_at: Instant::now(),
             expires_at: None,
             attempts: 0,

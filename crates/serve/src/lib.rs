@@ -39,10 +39,16 @@
 //! - **Graceful drain** — [`ScoringEngine::shutdown`] (and `Drop`) stops
 //!   intake, flushes every queued request, and joins the workers
 //!   (including respawned ones); no accepted request is ever dropped.
-//! - **Telemetry** — per-request latency, queue depth, micro-batch size
-//!   histograms plus fault counters (panics, retries, poisoned, shed,
-//!   expired, quarantined, respawns, reloads), snapshotted by
-//!   [`ScoringEngine::stats`].
+//! - **Telemetry** — per-request latency (both queue-admission → reply
+//!   and submit-call → reply, the latter including submit-side blocking),
+//!   pure per-batch score time, queue depth and micro-batch size
+//!   histograms, plus fault counters (panics, retries, poisoned, shed,
+//!   expired, quarantined, respawns, reloads). Flattened percentiles come
+//!   from [`ScoringEngine::stats`]; the full bucket shape, exportable as
+//!   Prometheus text or JSON through [`lightmirm_core::obs::export`],
+//!   from [`ScoringEngine::metrics_snapshot`]. With the `obs` feature the
+//!   engine additionally emits `process_batch` spans to the global
+//!   tracer.
 
 mod engine;
 
@@ -53,3 +59,5 @@ pub use engine::{
 // Re-export the quarantine vocabulary so engine embedders need not
 // depend on `lightmirm-core` directly for configuration.
 pub use lightmirm_core::bundle::{QuarantineFallback, QuarantinePolicy};
+// Ditto the snapshot type `metrics_snapshot()` returns.
+pub use lightmirm_core::obs::MetricsSnapshot;
