@@ -7,8 +7,12 @@
 //! rows/sec, ns/row, and the resulting speedup ratios.
 //!
 //! Usage: `cargo run --release -p lightmirm-bench --bin hotpath [-- --quick]
-//! [--out path.json]`. `--quick` shrinks the dataset and repetition count
-//! for CI smoke runs; numbers from it are not meaningful, only the schema.
+//! [--out path.json] [--trajectory path.jsonl]`. `--quick` shrinks the
+//! dataset and repetition count for CI smoke runs; numbers from it are not
+//! meaningful, only the schema. Besides the snapshot JSON, every run
+//! appends a commit- and thread-count-stamped record to the perf
+//! trajectory (`results/BENCH_trajectory.jsonl` by default) for the
+//! longitudinal regression gate (`scripts/check_bench_regression.sh`).
 
 use lightmirm_core::kernels;
 use lightmirm_core::lr;
@@ -69,6 +73,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results/BENCH_hotpath.json".to_string());
+    let trajectory_path = args
+        .iter()
+        .position(|a| a == "--trajectory")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_trajectory.jsonl".to_string());
 
     let sc = if quick {
         Scenario {
@@ -209,6 +218,60 @@ fn main() {
     }
     std::fs::write(&out_path, text + "\n").expect("write report");
     eprintln!("wrote {out_path}");
+
+    // Longitudinal record: ns/row per kernel plus the speedup ratios,
+    // stamped with commit + thread count for like-for-like comparison.
+    let metrics = vec![
+        (
+            "separate_loss_grad_ns_per_row".into(),
+            separate * 1e9 / sc.rows as f64,
+        ),
+        (
+            "fused_loss_grad_serial_ns_per_row".into(),
+            fused_serial * 1e9 / sc.rows as f64,
+        ),
+        (
+            "fused_loss_grad_parallel_ns_per_row".into(),
+            fused_parallel * 1e9 / sc.rows as f64,
+        ),
+        (
+            "hvp_recompute_logits_ns_per_row".into(),
+            hvp_reference * 1e9 / sc.rows as f64,
+        ),
+        (
+            "hvp_cached_logits_ns_per_row".into(),
+            hvp_cached * 1e9 / sc.rows as f64,
+        ),
+        (
+            "env_parallel_epoch_serial_ns_per_row".into(),
+            env_epoch_serial * 1e9 / sc.rows as f64,
+        ),
+        (
+            "env_parallel_epoch_parallel_ns_per_row".into(),
+            env_epoch_parallel * 1e9 / sc.rows as f64,
+        ),
+        (
+            "predict_serial_ns_per_row".into(),
+            predict_serial * 1e9 / sc.rows as f64,
+        ),
+        (
+            "predict_parallel_ns_per_row".into(),
+            predict_parallel * 1e9 / sc.rows as f64,
+        ),
+        ("fused_vs_separate_speedup".into(), separate / fused_serial),
+        (
+            "hvp_cached_vs_recompute_speedup".into(),
+            hvp_reference / hvp_cached,
+        ),
+    ];
+    let record =
+        lightmirm_bench::trajectory::TrajectoryRecord::now("hotpath", quick, threads, metrics);
+    let tp = std::path::Path::new(&trajectory_path);
+    record.append(tp).expect("append trajectory");
+    eprintln!(
+        "appended {} ({}) to {trajectory_path}",
+        record.commit, record.bench
+    );
     println!(
         "fused_vs_separate {:.3}x | parallel_vs_serial {:.3}x | hvp_cached {:.3}x | predict {:.3}x",
         separate / fused_serial,

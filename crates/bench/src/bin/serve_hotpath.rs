@@ -18,9 +18,12 @@
 //!   the floor the other two sit on.
 //!
 //! Usage: `cargo run --release -p lightmirm-bench --bin serve_hotpath
-//! [-- --quick] [--out path.json]`. `--quick` shrinks the stream and the
-//! sweep for CI smoke runs; numbers from it are not meaningful, only the
-//! schema.
+//! [-- --quick] [--out path.json] [--trajectory path.jsonl]`. `--quick`
+//! shrinks the stream and the sweep for CI smoke runs; numbers from it
+//! are not meaningful, only the schema. Besides the snapshot JSON, every
+//! run appends a commit-stamped record per configuration to the perf
+//! trajectory (`results/BENCH_trajectory.jsonl` by default) for the
+//! longitudinal regression gate (`scripts/check_bench_regression.sh`).
 
 use lightmirm_core::bundle::{BundleMetadata, ModelBundle};
 use lightmirm_core::lr::LrModel;
@@ -142,6 +145,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+    let trajectory_path = args
+        .iter()
+        .position(|a| a == "--trajectory")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_trajectory.jsonl".to_string());
 
     let sc = if quick {
         Scenario {
@@ -174,10 +182,19 @@ fn main() {
     );
 
     let mut runs = Vec::new();
+    let mut traj_metrics: Vec<(String, f64)> = Vec::new();
     for &workers in &sc.worker_counts {
         for &max_batch in &sc.batch_sizes {
             let (secs, stats) = run_config(&bundle, &frame, &sc, max_batch, workers);
             let rows_per_sec = frame.len() as f64 / secs;
+            traj_metrics.push((
+                format!("w{workers}_b{max_batch}_rows_per_sec"),
+                rows_per_sec,
+            ));
+            traj_metrics.push((
+                format!("w{workers}_b{max_batch}_score_p50_us"),
+                stats.score_p50_ns as f64 / 1_000.0,
+            ));
             eprintln!(
                 "workers {workers} batch {max_batch:>5}: {rows_per_sec:>9.0} rows/s, \
                  queued p50 {:>6.1}us p99 {:>7.1}us, e2e p50 {:>6.1}us p99 {:>7.1}us, \
@@ -238,4 +255,18 @@ fn main() {
     }
     std::fs::write(&out_path, text + "\n").expect("write report");
     eprintln!("wrote {out_path}");
+
+    // Longitudinal record: rows/sec and p50 kernel time per (workers,
+    // batch) configuration, commit-stamped for the regression gate.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let record =
+        lightmirm_bench::trajectory::TrajectoryRecord::now("serve", quick, threads, traj_metrics);
+    let tp = std::path::Path::new(&trajectory_path);
+    record.append(tp).expect("append trajectory");
+    eprintln!(
+        "appended {} ({}) to {trajectory_path}",
+        record.commit, record.bench
+    );
 }

@@ -1,0 +1,64 @@
+//! Perf-trajectory regression gate.
+//!
+//! Reads the append-only `results/BENCH_trajectory.jsonl` written by the
+//! `hotpath` and `serve_hotpath` bins and compares the newest run of
+//! each `(bench, quick, threads)` cohort against the rolling median of
+//! up to `--window` (default 5) immediately preceding runs, flagging
+//! hot-path metrics more than `--tolerance` (default 0.2 = 20%) slower.
+//!
+//! Warn-only by default — benchmark noise on shared CI runners must not
+//! block merges — the exit code is 0 unless `--strict` is passed, in
+//! which case any flagged metric exits 1.
+//!
+//! Usage: `cargo run --release -p lightmirm-bench --bin trajectory_gate
+//! [-- --trajectory path.jsonl] [--window N] [--tolerance F] [--strict]`.
+
+use lightmirm_bench::trajectory::{check_regressions, load};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let path = flag("--trajectory").unwrap_or_else(|| "results/BENCH_trajectory.jsonl".to_string());
+    let window: usize = flag("--window").map_or(5, |v| v.parse().expect("--window is an integer"));
+    let tolerance: f64 =
+        flag("--tolerance").map_or(0.2, |v| v.parse().expect("--tolerance is a number"));
+    let strict = args.iter().any(|a| a == "--strict");
+
+    let records = load(std::path::Path::new(&path));
+    if records.is_empty() {
+        println!("trajectory gate: no records at {path}; nothing to compare");
+        return;
+    }
+    println!(
+        "trajectory gate: {} records at {path}, window {window}, tolerance {:.0}%",
+        records.len(),
+        tolerance * 100.0
+    );
+    let flagged = check_regressions(&records, window, tolerance);
+    if flagged.is_empty() {
+        println!("trajectory gate: no regressions beyond tolerance");
+        return;
+    }
+    for r in &flagged {
+        println!(
+            "WARNING: {}::{} is {:.0}% slower than the rolling median ({:.4} vs {:.4})",
+            r.bench,
+            r.metric,
+            r.slowdown * 100.0,
+            r.current,
+            r.median
+        );
+    }
+    println!(
+        "trajectory gate: {} metric(s) regressed{}",
+        flagged.len(),
+        if strict { "" } else { " (warn-only)" }
+    );
+    if strict {
+        std::process::exit(1);
+    }
+}

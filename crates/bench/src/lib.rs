@@ -9,6 +9,8 @@ use lightmirm_core::prelude::*;
 use lightmirm_core::trainers::TrainConfig;
 use loansim::{generate, temporal_split, GeneratorConfig, ProvinceCatalog};
 
+pub mod trajectory;
+
 /// Build a small benchmark world: `rows` records through a `trees`-tree
 /// extractor, temporally split, returning the train-side [`EnvDataset`].
 pub fn bench_dataset(rows: usize, trees: usize, seed: u64) -> EnvDataset {

@@ -1,0 +1,325 @@
+//! Perf trajectory: commit-stamped bench records appended over time.
+//!
+//! Each bench bin writes its snapshot JSON as before, and *additionally*
+//! appends one JSON line per run to `results/BENCH_trajectory.jsonl`:
+//!
+//! ```json
+//! {"bench":"hotpath","quick":true,"commit":"b431bbe","unix_time":1754,
+//!  "threads":8,"metrics":{"fused_loss_grad_parallel_ns_per_row":11.2}}
+//! ```
+//!
+//! The append-only file is the repo's longitudinal perf record: CI
+//! uploads it as an artifact, and [`check_regressions`] (driven by
+//! `scripts/check_bench_regression.sh` via the `trajectory_gate` bin)
+//! compares the newest run of each `(bench, quick, threads)` cohort
+//! against the rolling median of the prior runs, warning when a hot-path
+//! metric degrades by more than the tolerance.
+//!
+//! Metric direction is encoded in the name: metrics ending in
+//! `_rows_per_sec` are higher-is-better; everything else (`_ns_per_row`,
+//! `_us`, `_secs`) is lower-is-better.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One appended trajectory entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRecord {
+    /// Bench bin name, e.g. `"hotpath"` or `"serve"`.
+    pub bench: String,
+    /// Whether the run used the shrunken `--quick` scenario.
+    pub quick: bool,
+    /// Short git commit hash, or `"unknown"` outside a work tree.
+    pub commit: String,
+    /// Seconds since the Unix epoch at record time.
+    pub unix_time: u64,
+    /// Worker threads the run used (rayon threads or logical CPUs).
+    pub threads: usize,
+    /// Flat metric name → value map, insertion-ordered.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl TrajectoryRecord {
+    /// A record stamped with the current commit and wall clock.
+    pub fn now(bench: &str, quick: bool, threads: usize, metrics: Vec<(String, f64)>) -> Self {
+        TrajectoryRecord {
+            bench: bench.to_string(),
+            quick,
+            commit: short_commit(),
+            unix_time: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            threads,
+            metrics,
+        }
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let metrics: serde_json::Map = self
+            .metrics
+            .iter()
+            .map(|(k, v)| (k.clone(), serde_json::json!(*v)))
+            .collect();
+        serde_json::to_string(&serde_json::json!({
+            "bench": self.bench,
+            "quick": self.quick,
+            "commit": self.commit,
+            "unix_time": self.unix_time,
+            "threads": self.threads,
+            "metrics": serde_json::Value::Object(metrics),
+        }))
+        .expect("trajectory line serializes")
+    }
+
+    /// Parse one JSON line; `None` for malformed or wrongly-shaped lines
+    /// (the trajectory file is append-only across format revisions, so
+    /// readers must skip what they cannot interpret).
+    pub fn from_json_line(line: &str) -> Option<Self> {
+        let v: serde_json::Value = serde_json::from_str(line).ok()?;
+        let metrics = v
+            .get("metrics")?
+            .as_object()?
+            .iter()
+            .filter_map(|(k, val)| val.as_f64().map(|f| (k.clone(), f)))
+            .collect();
+        Some(TrajectoryRecord {
+            bench: v.get("bench")?.as_str()?.to_string(),
+            quick: v.get("quick")?.as_bool()?,
+            commit: v.get("commit")?.as_str()?.to_string(),
+            unix_time: v.get("unix_time")?.as_u64()?,
+            threads: v.get("threads")?.as_u64()? as usize,
+            metrics,
+        })
+    }
+
+    /// Append this record to the trajectory file, creating parents as
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{}", self.to_json_line())
+    }
+}
+
+/// Load every parseable record from a trajectory file, in append order.
+/// A missing file is an empty history.
+pub fn load(path: &Path) -> Vec<TrajectoryRecord> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(TrajectoryRecord::from_json_line)
+        .collect()
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"`.
+pub fn short_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Whether a larger value of `metric` means a faster run.
+fn higher_is_better(metric: &str) -> bool {
+    metric.ends_with("_rows_per_sec") || metric.ends_with("_speedup")
+}
+
+/// One flagged metric from [`check_regressions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    pub bench: String,
+    pub metric: String,
+    /// Value in the newest run.
+    pub current: f64,
+    /// Rolling median over the comparison window.
+    pub median: f64,
+    /// Fractional slowdown vs the median (0.2 = 20% slower).
+    pub slowdown: f64,
+}
+
+/// Compare the newest record of every `(bench, quick, threads)` cohort
+/// against the rolling median of up to `window` immediately preceding
+/// records of the same cohort, flagging metrics more than `tolerance`
+/// slower (e.g. `0.2` = 20%). Cohorts with no history produce nothing —
+/// a first run cannot regress.
+pub fn check_regressions(
+    records: &[TrajectoryRecord],
+    window: usize,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut cohorts: Vec<(String, bool, usize)> = Vec::new();
+    for r in records {
+        let key = (r.bench.clone(), r.quick, r.threads);
+        if !cohorts.contains(&key) {
+            cohorts.push(key);
+        }
+    }
+    let mut flagged = Vec::new();
+    for (bench, quick, threads) in cohorts {
+        let runs: Vec<&TrajectoryRecord> = records
+            .iter()
+            .filter(|r| r.bench == bench && r.quick == quick && r.threads == threads)
+            .collect();
+        let (&current, history) = runs.split_last().expect("cohort has its defining record");
+        if history.is_empty() {
+            continue;
+        }
+        let window_runs = &history[history.len().saturating_sub(window)..];
+        for (metric, value) in &current.metrics {
+            let value = *value;
+            let mut prior: Vec<f64> = window_runs
+                .iter()
+                .filter_map(|r| r.metrics.iter().find(|(k, _)| k == metric).map(|&(_, v)| v))
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .collect();
+            if prior.is_empty() || !value.is_finite() || value <= 0.0 {
+                continue;
+            }
+            prior.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+            let median = prior[prior.len() / 2];
+            let slowdown = if higher_is_better(metric) {
+                median / value - 1.0
+            } else {
+                value / median - 1.0
+            };
+            if slowdown > tolerance {
+                flagged.push(Regression {
+                    bench: bench.clone(),
+                    metric: metric.clone(),
+                    current: value,
+                    median,
+                    slowdown,
+                });
+            }
+        }
+    }
+    flagged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bench: &str, threads: usize, metrics: &[(&str, f64)]) -> TrajectoryRecord {
+        TrajectoryRecord {
+            bench: bench.into(),
+            quick: true,
+            commit: "deadbee".into(),
+            unix_time: 1_700_000_000,
+            threads,
+            metrics: metrics.iter().map(|&(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let r = rec(
+            "hotpath",
+            4,
+            &[("fused_ns_per_row", 11.25), ("x_rows_per_sec", 9e6)],
+        );
+        let parsed = TrajectoryRecord::from_json_line(&r.to_json_line()).expect("parses");
+        assert_eq!(parsed.bench, "hotpath");
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(parsed.metrics.len(), 2);
+        assert!(parsed
+            .metrics
+            .iter()
+            .any(|(k, v)| k == "fused_ns_per_row" && (*v - 11.25).abs() < 1e-12));
+        assert!(TrajectoryRecord::from_json_line("not json").is_none());
+        assert!(TrajectoryRecord::from_json_line("{\"bench\":3}").is_none());
+    }
+
+    #[test]
+    fn append_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("lightmirm-trajectory-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("traj.jsonl");
+        let _ = std::fs::remove_file(&path);
+        rec("hotpath", 1, &[("a_ns_per_row", 5.0)])
+            .append(&path)
+            .expect("appends");
+        rec("serve", 2, &[("w2_rows_per_sec", 1e6)])
+            .append(&path)
+            .expect("appends");
+        let loaded = load(&path);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].bench, "hotpath");
+        assert_eq!(loaded[1].bench, "serve");
+        assert!(load(&dir.join("missing.jsonl")).is_empty());
+    }
+
+    #[test]
+    fn regression_flags_slowdowns_in_both_directions() {
+        let mut records: Vec<TrajectoryRecord> = (0..5)
+            .map(|i| {
+                rec(
+                    "hotpath",
+                    4,
+                    &[
+                        ("k_ns_per_row", 10.0 + (i % 2) as f64 * 0.2),
+                        ("k_rows_per_sec", 1e6),
+                    ],
+                )
+            })
+            .collect();
+        // Latest run: ns/row 50% worse, rows/sec 40% worse.
+        records.push(rec(
+            "hotpath",
+            4,
+            &[("k_ns_per_row", 15.0), ("k_rows_per_sec", 0.6e6)],
+        ));
+        let flagged = check_regressions(&records, 5, 0.2);
+        assert_eq!(flagged.len(), 2, "{flagged:?}");
+        assert!(flagged.iter().all(|f| f.slowdown > 0.2));
+        // Within tolerance: nothing flagged.
+        let mut ok = records[..5].to_vec();
+        ok.push(rec(
+            "hotpath",
+            4,
+            &[("k_ns_per_row", 11.0), ("k_rows_per_sec", 0.95e6)],
+        ));
+        assert!(check_regressions(&ok, 5, 0.2).is_empty());
+    }
+
+    #[test]
+    fn first_run_and_disjoint_cohorts_cannot_regress() {
+        let solo = [rec("hotpath", 4, &[("k_ns_per_row", 99.0)])];
+        assert!(check_regressions(&solo, 5, 0.2).is_empty());
+        // Different thread counts are different cohorts: a 1-thread run
+        // is not "slower" than a 8-thread history.
+        let mixed = [
+            rec("hotpath", 8, &[("k_ns_per_row", 5.0)]),
+            rec("hotpath", 1, &[("k_ns_per_row", 40.0)]),
+        ];
+        assert!(check_regressions(&mixed, 5, 0.2).is_empty());
+    }
+
+    #[test]
+    fn rolling_window_forgets_ancient_history() {
+        // Five fast ancient runs, then five slow recent ones; the newest
+        // slow run is within tolerance of the recent median.
+        let mut records: Vec<TrajectoryRecord> = (0..5)
+            .map(|_| rec("serve", 2, &[("k_ns_per_row", 1.0)]))
+            .collect();
+        records.extend((0..6).map(|_| rec("serve", 2, &[("k_ns_per_row", 10.0)])));
+        assert!(check_regressions(&records, 5, 0.2).is_empty());
+    }
+}

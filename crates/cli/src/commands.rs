@@ -3,12 +3,14 @@
 
 use std::path::Path;
 
+use lightmirm_core::bundle::DriftBaseline;
 use lightmirm_core::obs;
 use lightmirm_core::prelude::*;
 use lightmirm_core::trainers::TrainConfig;
 use lightmirm_metrics::{auc, ks, lift_table, psi};
 use lightmirm_serve::{
-    EngineConfig, EngineStats, Priority, ScoreError, ScoringEngine, SubmitError, SubmitOptions,
+    EngineConfig, EngineStats, MonitorConfig, Priority, ScoreError, ScoringEngine, SubmitError,
+    SubmitOptions,
 };
 use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog, Schema};
 
@@ -54,12 +56,14 @@ impl From<std::io::Error> for CliError {
 /// Dispatch a parsed command line. `out` receives human-readable output
 /// (stdout in production, a buffer in tests).
 ///
-/// Every subcommand honors two observability flags: `--trace-out p.jsonl`
-/// streams spans and events to a JSON-lines file for the command's
-/// duration, and `--metrics-out p` writes a final snapshot of the global
-/// [`lightmirm_core::obs`] registry (Prometheus text, or JSON when the
-/// path ends in `.json`). Commands that run a scoring engine fold its
-/// `serve_*` telemetry into the registry before the snapshot.
+/// Every subcommand honors three observability flags: `--trace-out
+/// p.jsonl` streams spans and events to a JSON-lines file for the
+/// command's duration, `--metrics-out p` writes a final snapshot of the
+/// global [`lightmirm_core::obs`] registry (Prometheus text, or JSON when
+/// the path ends in `.json`), and `--profile-out p` aggregates the trace
+/// ring into a span profile (JSON for `.json` paths, flamegraph-collapsed
+/// text otherwise). Commands that run a scoring engine fold its `serve_*`
+/// telemetry into the registry before the snapshot.
 ///
 /// # Errors
 ///
@@ -80,6 +84,9 @@ pub fn run(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliErr
     if result.is_ok() {
         if let Some(path) = args.optional("metrics-out") {
             obs::export::write_snapshot(Path::new(path), &obs::registry().snapshot())?;
+        }
+        if let Some(path) = args.optional("profile-out") {
+            obs::Profile::from_ring().write(Path::new(path))?;
         }
     }
     result
@@ -226,6 +233,23 @@ fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
         },
     )
     .map_err(|e| CliError::Data(e.to_string()))?;
+    // Drift baseline for the serve-side sentinel: per-province quantile
+    // sketches of the bundle's own training-row scores plus the
+    // `--baseline-cols` highest-gain feature columns (0 disables).
+    let baseline_cols = args.get_or("baseline-cols", 4usize)?;
+    let nf = bundle.n_features();
+    let mut feats = Vec::with_capacity(split.train.len() * nf);
+    let mut envs = Vec::with_capacity(split.train.len());
+    for r in 0..split.train.len() {
+        feats.extend_from_slice(split.train.row(r));
+        envs.push(split.train.province[r]);
+    }
+    let train_scores = bundle.score_batch(&feats, &envs);
+    let columns =
+        DriftBaseline::top_k_columns(extractor.gbdt().feature_importance(), baseline_cols);
+    let baseline = DriftBaseline::capture(&train_scores, &envs, &feats, nf, &columns, 64);
+    let n_baseline_envs = baseline.envs.len();
+    let bundle = bundle.with_baseline(baseline);
     // Checksummed + atomic: a crash mid-write cannot leave a truncated
     // bundle where a scoring service would pick it up.
     bundle
@@ -236,6 +260,11 @@ fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
         "trained {method} on {} rows ({} env-loss ops); bundle at {model_path}",
         split.train.len(),
         output.ops.total()
+    )?;
+    writeln!(
+        out,
+        "drift baseline: {n_baseline_envs} provinces, {} monitored columns",
+        columns.len()
     )?;
     Ok(())
 }
@@ -283,10 +312,51 @@ fn engine_from_flags(
             shed_watermark,
             max_attempts,
             queue_capacity: defaults.queue_capacity.max(max_batch),
+            // Arm the drift sentinel; it stays dormant for bundles
+            // without a train-time baseline. Observation-only, so
+            // scores are unaffected either way.
+            monitor: Some(MonitorConfig::default()),
             ..defaults
         },
     );
     Ok((engine, opts))
+}
+
+/// Honor `--drift-out p.json`: force a final PSI check on every
+/// environment with enough window samples and write the sentinel's
+/// per-environment report (score drift plus per-signal breakdown) as
+/// JSON. Bundles without a baseline write an empty report.
+fn write_drift_report(
+    args: &ParsedArgs,
+    engine: &ScoringEngine,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let Some(path) = args.optional("drift-out") else {
+        return Ok(());
+    };
+    match engine.drift_monitor() {
+        Some(monitor) => {
+            monitor.check_now();
+            let report = monitor.drift_report();
+            std::fs::write(
+                Path::new(path),
+                serde_json::to_string_pretty(&report).expect("drift report serializes"),
+            )?;
+            writeln!(
+                out,
+                "drift report ({} provinces) at {path}",
+                report.envs.len()
+            )?;
+        }
+        None => {
+            std::fs::write(Path::new(path), "{\"envs\":[]}\n")?;
+            writeln!(
+                out,
+                "bundle carries no drift baseline; empty drift report at {path}"
+            )?;
+        }
+    }
+    Ok(())
 }
 
 /// Slice one `n`-row request starting at `r` out of `frame`.
@@ -385,9 +455,11 @@ fn write_engine_summary(out: &mut dyn std::io::Write, stats: &EngineStats) -> st
 
 /// `score --model model.json --data world.bin --out scores.csv
 /// [--batch 256] [--workers 2] [--deadline-ms D] [--shed-watermark W]
-/// [--priority low|normal|high] [--metrics-out M] [--trace-out T]` —
-/// batch scoring through the micro-batched engine. Scores are
-/// bit-identical for any `--batch`/`--workers` choice.
+/// [--priority low|normal|high] [--metrics-out M] [--trace-out T]
+/// [--drift-out D]` — batch scoring through the micro-batched engine.
+/// Scores are bit-identical for any `--batch`/`--workers` choice;
+/// `--drift-out` writes the drift sentinel's final per-province PSI
+/// report as JSON.
 fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let bundle = load_bundle(args.required("model")?)?;
     let frame = load_frame(args.required("data")?)?;
@@ -397,6 +469,7 @@ fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
     // Fold the engine's serve_* telemetry into the global registry so a
     // trailing `--metrics-out` snapshot carries it.
     obs::registry().merge_snapshot(&engine.metrics_snapshot());
+    write_drift_report(args, &engine, out)?;
     let stats = engine.shutdown();
     let mut text = String::from("row,province,score\n");
     for (r, score) in scores.iter().enumerate() {
@@ -410,7 +483,8 @@ fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
 
 /// `serve-replay --model model.json --data world.bin --out replay.json
 /// [--batch 256] [--workers 2] [--chunk 1] [--grid 40]
-/// [--deadline-ms D] [--shed-watermark W] [--reload-model new.json]` —
+/// [--deadline-ms D] [--shed-watermark W] [--reload-model new.json]
+/// [--drift-out D]` —
 /// the Fig. 5 online companion sweep with the companion scored live
 /// through the serving engine: the held-out 2020 stream arrives as
 /// `--chunk`-row requests, the incumbent (the raw GBDT scorer) approves
@@ -477,6 +551,7 @@ fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(
     };
     // As in `score`: surface serve_* telemetry through `--metrics-out`.
     obs::registry().merge_snapshot(&engine.metrics_snapshot());
+    write_drift_report(args, &engine, out)?;
     let stats = engine.shutdown();
 
     let grid: Vec<f64> = (0..=grid_points)

@@ -75,6 +75,170 @@ pub struct BundleMetadata {
     pub notes: String,
 }
 
+/// Evenly-spaced quantile sketch of a one-dimensional sample.
+///
+/// `points[k]` is the `k/(len-1)` quantile of the summarized sample, so
+/// the points form an equi-probable pseudo-sample of the distribution:
+/// feeding them to [`lightmirm_metrics::drift::psi`] as the `expected`
+/// side reconstructs the baseline bucket shares without shipping the raw
+/// training data inside the bundle.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct QuantileSketch {
+    /// Quantile points, ascending.
+    pub points: Vec<f64>,
+    /// Number of finite samples the sketch summarizes.
+    pub count: u64,
+}
+
+impl QuantileSketch {
+    /// Sketch `samples` with `n_points` evenly spaced quantiles.
+    /// Non-finite samples (e.g. quarantined-row fallback scores) are
+    /// skipped. Returns `None` when nothing finite remains or
+    /// `n_points < 2`.
+    pub fn from_samples(samples: &[f64], n_points: usize) -> Option<Self> {
+        if n_points < 2 {
+            return None;
+        }
+        let mut finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        finite.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = finite.len();
+        let points = (0..n_points)
+            .map(|k| {
+                let q = k as f64 / (n_points - 1) as f64;
+                finite[((q * (n - 1) as f64).round()) as usize]
+            })
+            .collect();
+        Some(QuantileSketch {
+            points,
+            count: n as u64,
+        })
+    }
+}
+
+/// Baseline sketch of one monitored feature column.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct FeatureBaseline {
+    /// Raw feature column index.
+    pub column: u32,
+    /// Sketch of the column's training-time distribution.
+    pub sketch: QuantileSketch,
+}
+
+/// Training-time distributions for one environment.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct EnvBaseline {
+    /// Environment id the sketches describe.
+    pub env_id: u16,
+    /// Sketch of the model score distribution.
+    pub scores: QuantileSketch,
+    /// Sketches of the monitored feature columns (aligned with
+    /// [`DriftBaseline::columns`]; a column that was all-NaN in this
+    /// environment is absent).
+    pub features: Vec<FeatureBaseline>,
+}
+
+/// Train-time drift baseline stored inside a [`ModelBundle`].
+///
+/// Captured once at train time and carried in the versioned bundle
+/// payload (the CRC envelope covers it); legacy bundles simply have no
+/// baseline and load with `None`. The serve-side drift sentinel
+/// compares live sliding windows against these sketches with windowed
+/// PSI.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DriftBaseline {
+    /// Monitored raw feature columns (top-k by extractor split gain).
+    pub columns: Vec<u32>,
+    /// Per-environment baselines, sorted by `env_id`.
+    pub envs: Vec<EnvBaseline>,
+}
+
+impl DriftBaseline {
+    /// Pick the top-`k` columns by split-gain importance (ties broken by
+    /// lower column index), skipping zero-importance columns.
+    pub fn top_k_columns(importance: &[f64], k: usize) -> Vec<u32> {
+        let mut ranked: Vec<usize> = (0..importance.len())
+            .filter(|&c| importance[c] > 0.0)
+            .collect();
+        ranked.sort_by(|&a, &b| {
+            importance[b]
+                .partial_cmp(&importance[a])
+                .expect("finite gain")
+                .then(a.cmp(&b))
+        });
+        ranked.truncate(k);
+        ranked.sort_unstable();
+        ranked.into_iter().map(|c| c as u32).collect()
+    }
+
+    /// Capture per-environment sketches of model scores and the given
+    /// feature columns from a training set. `features` is row-major with
+    /// `n_features` values per row, aligned with `scores`/`env_ids`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scores`, `env_ids`, and `features` disagree on the
+    /// row count or a requested column is out of range.
+    pub fn capture(
+        scores: &[f64],
+        env_ids: &[u16],
+        features: &[f32],
+        n_features: usize,
+        columns: &[u32],
+        sketch_points: usize,
+    ) -> Self {
+        assert_eq!(scores.len(), env_ids.len(), "one score per row");
+        assert_eq!(
+            features.len(),
+            env_ids.len() * n_features,
+            "features must hold n_features values per row"
+        );
+        assert!(
+            columns.iter().all(|&c| (c as usize) < n_features),
+            "monitored column out of range"
+        );
+        let mut env_rows: std::collections::BTreeMap<u16, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (r, &e) in env_ids.iter().enumerate() {
+            env_rows.entry(e).or_default().push(r);
+        }
+        let envs = env_rows
+            .into_iter()
+            .filter_map(|(env_id, rows)| {
+                let env_scores: Vec<f64> = rows.iter().map(|&r| scores[r]).collect();
+                let score_sketch = QuantileSketch::from_samples(&env_scores, sketch_points)?;
+                let feats = columns
+                    .iter()
+                    .filter_map(|&c| {
+                        let vals: Vec<f64> = rows
+                            .iter()
+                            .map(|&r| f64::from(features[r * n_features + c as usize]))
+                            .collect();
+                        QuantileSketch::from_samples(&vals, sketch_points)
+                            .map(|sketch| FeatureBaseline { column: c, sketch })
+                    })
+                    .collect();
+                Some(EnvBaseline {
+                    env_id,
+                    scores: score_sketch,
+                    features: feats,
+                })
+            })
+            .collect();
+        DriftBaseline {
+            columns: columns.to_vec(),
+            envs,
+        }
+    }
+
+    /// The baseline for `env_id`, when captured.
+    pub fn env(&self, env_id: u16) -> Option<&EnvBaseline> {
+        self.envs.iter().find(|e| e.env_id == env_id)
+    }
+}
+
 /// The deployable artifact: extractor + head + provenance.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct ModelBundle {
@@ -85,6 +249,10 @@ pub struct ModelBundle {
     pub model: StoredModel,
     /// Provenance.
     pub metadata: BundleMetadata,
+    /// Train-time drift baseline for the serve-side sentinel. `None` on
+    /// legacy bundles (the field deserializes to `None` when absent) and
+    /// on bundles built without baseline capture.
+    pub baseline: Option<DriftBaseline>,
 }
 
 /// Errors from bundle persistence.
@@ -246,7 +414,15 @@ impl ModelBundle {
             extractor,
             model: StoredModel::from(model),
             metadata,
+            baseline: None,
         })
+    }
+
+    /// Attach a train-time drift baseline (builder style).
+    #[must_use]
+    pub fn with_baseline(mut self, baseline: DriftBaseline) -> Self {
+        self.baseline = Some(baseline);
+        self
     }
 
     /// Serialize to JSON.
@@ -827,6 +1003,69 @@ mod tests {
             ModelBundle::from_envelope(&tampered),
             Err(BundleError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn quantile_sketch_is_sorted_and_skips_non_finite() {
+        let mut samples: Vec<f64> = (0..500).map(|i| f64::from(i % 97) / 97.0).collect();
+        samples.push(f64::NAN);
+        samples.push(f64::INFINITY);
+        let sketch = QuantileSketch::from_samples(&samples, 32).expect("sketch");
+        assert_eq!(sketch.points.len(), 32);
+        assert_eq!(sketch.count, 500);
+        assert!(sketch.points.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sketch.points.iter().all(|p| p.is_finite()));
+        assert!(QuantileSketch::from_samples(&[f64::NAN], 8).is_none());
+        assert!(QuantileSketch::from_samples(&[1.0, 2.0], 1).is_none());
+    }
+
+    #[test]
+    fn top_k_columns_ranks_by_gain() {
+        let imp = [0.0, 5.0, 1.0, 5.0, 3.0];
+        assert_eq!(DriftBaseline::top_k_columns(&imp, 3), vec![1, 3, 4]);
+        // Zero-importance columns never make the cut, even with room.
+        assert_eq!(DriftBaseline::top_k_columns(&imp, 10), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn baseline_capture_sketches_each_env() {
+        let n = 300;
+        let env_ids: Vec<u16> = (0..n).map(|i| (i % 3) as u16).collect();
+        let scores: Vec<f64> = (0..n).map(|i| f64::from(i as u32) / n as f64).collect();
+        let features: Vec<f32> = (0..n * 2).map(|i| (i % 13) as f32).collect();
+        let baseline = DriftBaseline::capture(&scores, &env_ids, &features, 2, &[0, 1], 16);
+        assert_eq!(baseline.envs.len(), 3);
+        for env in 0..3u16 {
+            let eb = baseline.env(env).expect("env captured");
+            assert_eq!(eb.scores.count, 100);
+            assert_eq!(eb.features.len(), 2);
+        }
+        assert!(baseline.env(9).is_none());
+    }
+
+    #[test]
+    fn bundle_baseline_round_trips_through_envelope() {
+        let (bundle, feats) = demo_bundle();
+        let n = feats.len() / 2;
+        let env_ids: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+        let scores = bundle.score_batch(&feats, &env_ids);
+        let baseline = DriftBaseline::capture(&scores, &env_ids, &feats, 2, &[0, 1], 24);
+        let bundle = bundle.with_baseline(baseline.clone());
+        let back = ModelBundle::from_envelope(&bundle.to_envelope()).expect("valid");
+        assert_eq!(back.baseline.as_ref(), Some(&baseline));
+        assert_eq!(bundle, back);
+    }
+
+    #[test]
+    fn legacy_bundle_without_baseline_field_loads_as_none() {
+        let (bundle, _) = demo_bundle();
+        let json = bundle.to_json();
+        // A pre-baseline bundle document has no such key at all.
+        let legacy = json.replace(",\"baseline\":null", "");
+        assert_ne!(json, legacy, "baseline field should serialize last");
+        let back = ModelBundle::from_json(&legacy).expect("legacy bundle loads");
+        assert_eq!(back.baseline, None);
+        assert_eq!(bundle, back);
     }
 
     #[test]

@@ -46,12 +46,14 @@
 
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use metrics::{
     Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricEntry, MetricKey, MetricValue,
     MetricsRegistry, MetricsSnapshot,
 };
+pub use profile::{Profile, ProfileEdge, SiteProfile, StackPath};
 pub use trace::{JsonLinesSink, NoopSink, SpanGuard, StderrPrettySink, TraceEvent, TraceSink};
 
 use std::sync::OnceLock;

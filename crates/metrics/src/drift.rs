@@ -40,15 +40,28 @@ pub struct PsiReport {
 ///
 /// # Errors
 ///
-/// Returns [`MetricError::Empty`] if either sample is empty and
-/// [`MetricError::NanScore`] on NaNs.
+/// Returns [`MetricError::TooFewBuckets`] when `n_buckets < 2`,
+/// [`MetricError::Empty`] if either sample is empty,
+/// [`MetricError::NanScore`] on NaNs, and [`MetricError::NonFinite`] on
+/// ±∞ (quarantined rows must never poison a drift report).
 pub fn psi(expected: &[f64], actual: &[f64], n_buckets: usize) -> Result<PsiReport, MetricError> {
-    assert!(n_buckets >= 2, "PSI needs at least two buckets");
+    if n_buckets < 2 {
+        return Err(MetricError::TooFewBuckets { n_buckets });
+    }
     if expected.is_empty() || actual.is_empty() {
         return Err(MetricError::Empty);
     }
-    if let Some(index) = expected.iter().chain(actual).position(|v| v.is_nan()) {
-        return Err(MetricError::NanScore { index });
+    if let Some((index, v)) = expected
+        .iter()
+        .chain(actual)
+        .enumerate()
+        .find(|(_, v)| !v.is_finite())
+    {
+        return Err(if v.is_nan() {
+            MetricError::NanScore { index }
+        } else {
+            MetricError::NonFinite { index }
+        });
     }
 
     // Bucket edges at baseline quantiles.
@@ -186,9 +199,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two buckets")]
     fn rejects_single_bucket() {
-        let _ = psi(&[1.0, 2.0], &[1.0], 1);
+        assert_eq!(
+            psi(&[1.0, 2.0], &[1.0], 1).unwrap_err(),
+            MetricError::TooFewBuckets { n_buckets: 1 }
+        );
+        assert_eq!(
+            psi(&[1.0, 2.0], &[1.0], 0).unwrap_err(),
+            MetricError::TooFewBuckets { n_buckets: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs() {
+        assert_eq!(
+            psi(&[1.0, f64::INFINITY], &[1.0], 5).unwrap_err(),
+            MetricError::NonFinite { index: 1 }
+        );
+        assert_eq!(
+            psi(&[1.0, 2.0], &[f64::NEG_INFINITY], 5).unwrap_err(),
+            MetricError::NonFinite { index: 2 }
+        );
     }
 
     mod properties {
@@ -215,6 +246,73 @@ mod tests {
                 for buckets in [2usize, 5, 16] {
                     let report = psi(&base, &base, buckets).unwrap();
                     prop_assert!(report.psi.abs() < 1e-9);
+                }
+            }
+
+            #[test]
+            fn bucket_shares_sum_to_one(
+                base in proptest::collection::vec(-5.0f64..5.0, 20..300),
+                actual in proptest::collection::vec(-5.0f64..5.0, 20..300),
+                n_buckets in 2usize..20,
+            ) {
+                // Every sample lands in exactly one bucket, so each side's
+                // shares sum to 1 modulo the 1e-6 flooring of empty buckets.
+                let report = psi(&base, &actual, n_buckets).unwrap();
+                let slack = 1e-6 * report.buckets.len() as f64 + 1e-9;
+                let exp: f64 = report.buckets.iter().map(|b| b.expected).sum();
+                let act: f64 = report.buckets.iter().map(|b| b.actual).sum();
+                prop_assert!((exp - 1.0).abs() <= slack, "expected shares sum {exp}");
+                prop_assert!((act - 1.0).abs() <= slack, "actual shares sum {act}");
+            }
+
+            #[test]
+            fn psi_invariant_under_sample_permutation(
+                base in proptest::collection::vec(-3.0f64..3.0, 10..150),
+                actual in proptest::collection::vec(-3.0f64..3.0, 10..150),
+                rot in 0usize..150,
+            ) {
+                // PSI only sees bucket counts, so sample order is
+                // irrelevant: reversal and rotation change nothing.
+                let report = psi(&base, &actual, 8).unwrap();
+                let mut rev_b = base.clone();
+                rev_b.reverse();
+                let mut rev_a = actual.clone();
+                rev_a.reverse();
+                let reversed = psi(&rev_b, &rev_a, 8).unwrap();
+                prop_assert_eq!(report.psi.to_bits(), reversed.psi.to_bits());
+                let mut rot_b = base.clone();
+                rot_b.rotate_left(rot % base.len());
+                let mut rot_a = actual.clone();
+                rot_a.rotate_left(rot % actual.len());
+                let rotated = psi(&rot_b, &rot_a, 8).unwrap();
+                prop_assert_eq!(report.psi.to_bits(), rotated.psi.to_bits());
+            }
+
+            #[test]
+            fn identical_samples_have_near_zero_psi(
+                base in proptest::collection::vec(-100.0f64..100.0, 5..200),
+                n_buckets in 2usize..16,
+            ) {
+                let report = psi(&base, &base, n_buckets).unwrap();
+                prop_assert!(report.psi.abs() < 1e-9, "psi {}", report.psi);
+                prop_assert_eq!(report.level(), DriftLevel::Stable);
+            }
+
+            #[test]
+            fn constant_baseline_returns_finite_report(
+                value in -50.0f64..50.0,
+                n_base in 1usize..100,
+                actual in proptest::collection::vec(-50.0f64..50.0, 1..100),
+                n_buckets in 2usize..12,
+            ) {
+                // All quantile edges dedup to one; the report must still be
+                // finite with every bucket share populated or floored.
+                let base = vec![value; n_base];
+                let report = psi(&base, &actual, n_buckets).unwrap();
+                prop_assert!(report.psi.is_finite(), "psi {}", report.psi);
+                for b in &report.buckets {
+                    prop_assert!(b.expected.is_finite() && b.actual.is_finite());
+                    prop_assert!(b.contribution.is_finite());
                 }
             }
         }

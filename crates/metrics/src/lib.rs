@@ -58,6 +58,10 @@ pub enum MetricError {
     SingleClass,
     /// A score was NaN, which has no place in an ordering-based metric.
     NanScore { index: usize },
+    /// A score was infinite; drift bucketing needs finite samples.
+    NonFinite { index: usize },
+    /// A bucketed metric was asked for fewer than two buckets.
+    TooFewBuckets { n_buckets: usize },
 }
 
 impl std::fmt::Display for MetricError {
@@ -72,6 +76,12 @@ impl std::fmt::Display for MetricError {
                 write!(f, "labels contain a single class; AUC/KS are undefined")
             }
             MetricError::NanScore { index } => write!(f, "score at index {index} is NaN"),
+            MetricError::NonFinite { index } => {
+                write!(f, "score at index {index} is not finite")
+            }
+            MetricError::TooFewBuckets { n_buckets } => {
+                write!(f, "need at least two buckets, got {n_buckets}")
+            }
         }
     }
 }
@@ -148,5 +158,15 @@ mod tests {
     fn error_display_is_informative() {
         let msg = MetricError::SingleClass.to_string();
         assert!(msg.contains("single class"));
+        let msg = MetricError::NonFinite { index: 3 }.to_string();
+        assert!(
+            msg.contains("index 3") && msg.contains("not finite"),
+            "{msg}"
+        );
+        let msg = MetricError::TooFewBuckets { n_buckets: 1 }.to_string();
+        assert!(
+            msg.contains("two buckets") && msg.contains("got 1"),
+            "{msg}"
+        );
     }
 }

@@ -79,6 +79,13 @@ pub struct EngineConfig {
     pub shed_watermark: f64,
     /// Input validation applied to every dispatched batch.
     pub quarantine: QuarantinePolicy,
+    /// Online drift sentinel configuration. `Some` arms the sentinel
+    /// when the served bundle carries a train-time
+    /// [`DriftBaseline`](lightmirm_core::bundle::DriftBaseline); a
+    /// baseline-less bundle serves unmonitored either way. Strictly
+    /// observation-only — scores are bit-identical with the sentinel on
+    /// or off (`tests/monitor.rs` proves it).
+    pub monitor: Option<crate::monitor::MonitorConfig>,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +98,7 @@ impl Default for EngineConfig {
             max_attempts: 3,
             shed_watermark: 1.0,
             quarantine: QuarantinePolicy::default(),
+            monitor: None,
         }
     }
 }
@@ -435,12 +443,32 @@ struct Shared {
     metrics: Mutex<Metrics>,
     /// Join handles of workers respawned after a thread death.
     respawned: Mutex<Vec<JoinHandle<()>>>,
+    /// The drift sentinel, present when the config arms it and the
+    /// served bundle carries a baseline; swapped alongside the bundle on
+    /// hot reload. Strictly observation-only.
+    monitor: Mutex<Option<Arc<crate::monitor::DriftMonitor>>>,
 }
 
 impl Shared {
     fn current_bundle(&self) -> Arc<ModelBundle> {
         Arc::clone(&lock(&self.bundle))
     }
+
+    fn current_monitor(&self) -> Option<Arc<crate::monitor::DriftMonitor>> {
+        lock(&self.monitor).clone()
+    }
+}
+
+/// The sentinel for a bundle, when both config and baseline allow one.
+fn build_monitor(
+    cfg: &EngineConfig,
+    bundle: &ModelBundle,
+) -> Option<Arc<crate::monitor::DriftMonitor>> {
+    let mon_cfg = cfg.monitor.clone()?;
+    let baseline = bundle.baseline.clone()?;
+    Some(Arc::new(crate::monitor::DriftMonitor::new(
+        baseline, mon_cfg,
+    )))
 }
 
 /// The embeddable scoring engine. `&self` methods are thread-safe; wrap
@@ -468,6 +496,7 @@ impl ScoringEngine {
             "shed_watermark must be in (0, 1]"
         );
         let n_features = bundle.n_features();
+        let monitor = build_monitor(&cfg, &bundle);
         let shared = Arc::new(Shared {
             bundle: Mutex::new(Arc::new(bundle)),
             n_features,
@@ -481,6 +510,7 @@ impl ScoringEngine {
             not_full: Condvar::new(),
             metrics: Mutex::new(Metrics::default()),
             respawned: Mutex::new(Vec::new()),
+            monitor: Mutex::new(monitor),
         });
         let workers = (0..cfg.workers)
             .map(|i| spawn_worker(Arc::clone(&shared), i))
@@ -695,9 +725,25 @@ impl ScoringEngine {
                 return reject(ReloadError::ProbeNonFinite { row });
             }
         }
+        // Rearm the sentinel against the candidate's baseline before the
+        // swap, so no batch is ever checked against a stale baseline.
+        *lock(&self.shared.monitor) = build_monitor(&self.shared.cfg, &candidate);
         *lock(&self.shared.bundle) = Arc::new(candidate);
         lock(&self.shared.metrics).reloads += 1;
         Ok(())
+    }
+
+    /// The drift sentinel, when armed (config has a
+    /// [`crate::monitor::MonitorConfig`] and the served bundle carries a
+    /// baseline).
+    pub fn drift_monitor(&self) -> Option<Arc<crate::monitor::DriftMonitor>> {
+        self.shared.current_monitor()
+    }
+
+    /// Snapshot the sentinel's latest per-environment drift state.
+    /// `None` when the sentinel is not armed.
+    pub fn drift_report(&self) -> Option<crate::monitor::DriftReport> {
+        self.shared.current_monitor().map(|m| m.drift_report())
     }
 
     /// Snapshot the telemetry histograms and counters.
@@ -969,7 +1015,15 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
     // scored, and its requests will be timed on the retry that delivers.
     let score_elapsed = score_start.elapsed();
     match outcome {
-        Ok(scored) => fan_out(shared, batch, scored, score_elapsed),
+        Ok(scored) => {
+            // Feed the drift sentinel before fan-out. Observation-only:
+            // the monitor reads the finished scores and inputs, never
+            // writes anything scoring reads back.
+            if let Some(monitor) = shared.current_monitor() {
+                monitor.observe(&scored.scores, &env_ids, &features, bundle.n_features());
+            }
+            fan_out(shared, batch, scored, score_elapsed);
+        }
         Err(_) => requeue_or_poison(shared, batch),
     }
 }

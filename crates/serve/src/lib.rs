@@ -49,13 +49,26 @@
 //!   from [`ScoringEngine::metrics_snapshot`]. With the `obs` feature the
 //!   engine additionally emits `process_batch` spans to the global
 //!   tracer.
+//! - **Drift sentinel** — with [`EngineConfig::monitor`] set and a
+//!   bundle carrying a train-time
+//!   [`DriftBaseline`](lightmirm_core::bundle::DriftBaseline), a
+//!   [`DriftMonitor`] watches per-environment sliding windows of scores
+//!   and monitored feature columns, periodically computing windowed PSI
+//!   against the baseline: `drift_psi{env,signal}` gauges,
+//!   `drift_escalation` trace events on band rises, and a
+//!   [`ScoringEngine::drift_report`] snapshot. Strictly observation-only
+//!   — scores are bit-identical with the sentinel armed or absent
+//!   (`tests/monitor.rs`); hot reload rearms it against the incoming
+//!   bundle's baseline.
 
 mod engine;
+pub mod monitor;
 
 pub use engine::{
     EngineConfig, EngineStats, PendingScores, Priority, ReloadError, ScoreError, ScoredResponse,
     ScoringEngine, SubmitError, SubmitOptions,
 };
+pub use monitor::{DriftMonitor, DriftReport, EnvDrift, MonitorConfig, SignalDrift};
 // Re-export the quarantine vocabulary so engine embedders need not
 // depend on `lightmirm-core` directly for configuration.
 pub use lightmirm_core::bundle::{QuarantineFallback, QuarantinePolicy};

@@ -1,0 +1,455 @@
+//! Online drift sentinel: windowed PSI against the bundle's baseline.
+//!
+//! The paper's data analysis (§IV-B) shows the system's core risk is
+//! distribution shift — provinces drift out of distribution between
+//! training and serving. [`DriftMonitor`] is the serve-side layer that
+//! *notices*: it maintains sliding-window per-environment distributions
+//! of model scores and the monitored feature columns, and periodically
+//! computes windowed PSI against the train-time
+//! [`DriftBaseline`](lightmirm_core::bundle::DriftBaseline) carried in
+//! the [`ModelBundle`](lightmirm_core::bundle::ModelBundle).
+//!
+//! Each check publishes `drift_psi{env,signal}` gauges to the global
+//! metrics registry, emits a `drift_escalation` trace event whenever a
+//! signal's [`DriftLevel`] rises, and refreshes the snapshot returned by
+//! [`DriftMonitor::drift_report`].
+//!
+//! **Observation-only invariant**: the monitor reads scores and features
+//! after they are computed and never feeds anything back into scoring.
+//! Scores are bit-identical with the sentinel on or off — the same
+//! guarantee `obs_determinism.rs` proves for metrics/tracing, proved for
+//! the monitor by `crates/serve/tests/monitor.rs`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use lightmirm_core::bundle::DriftBaseline;
+use lightmirm_core::obs;
+use lightmirm_metrics::drift::{psi, DriftLevel, PsiReport};
+use serde::Serialize;
+
+/// Tuning knobs of the drift sentinel.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Sliding-window capacity per (environment, signal), in rows.
+    pub window: usize,
+    /// Minimum rows in an environment's window before its first PSI
+    /// computation (small windows make PSI pure noise).
+    pub min_samples: usize,
+    /// Recompute PSI every this many observed rows per environment.
+    pub check_every: usize,
+    /// Baseline-quantile bucket count for PSI.
+    pub n_buckets: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: 2048,
+            min_samples: 64,
+            check_every: 256,
+            n_buckets: 10,
+        }
+    }
+}
+
+/// Drift state of one monitored signal in one environment.
+#[derive(Debug, Clone, Serialize)]
+pub struct SignalDrift {
+    /// `"score"` or `"feature_<col>"`.
+    pub signal: String,
+    /// Latest windowed PSI.
+    pub psi: f64,
+    /// The PSI's standard band.
+    pub level: DriftLevel,
+    /// Full per-bucket breakdown of the latest check.
+    pub report: PsiReport,
+}
+
+/// Drift state of one environment.
+#[derive(Debug, Clone, Serialize)]
+pub struct EnvDrift {
+    /// Environment id.
+    pub env_id: u16,
+    /// Rows observed for this environment so far.
+    pub rows: u64,
+    /// PSI checks completed so far.
+    pub checks: u64,
+    /// Latest per-signal drift (empty until the first check).
+    pub signals: Vec<SignalDrift>,
+}
+
+impl EnvDrift {
+    /// The environment's worst signal band (`Stable` before any check).
+    pub fn level(&self) -> DriftLevel {
+        self.signals
+            .iter()
+            .map(|s| s.level)
+            .max_by_key(|l| level_rank(*l))
+            .unwrap_or(DriftLevel::Stable)
+    }
+}
+
+/// Point-in-time snapshot of the sentinel across environments.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftReport {
+    /// Per-environment drift, sorted by `env_id`. Environments with no
+    /// train-time baseline are not monitored and do not appear.
+    pub envs: Vec<EnvDrift>,
+}
+
+impl DriftReport {
+    /// The report for `env_id`, when that environment is monitored.
+    pub fn env(&self, env_id: u16) -> Option<&EnvDrift> {
+        self.envs.iter().find(|e| e.env_id == env_id)
+    }
+}
+
+fn level_rank(l: DriftLevel) -> u8 {
+    match l {
+        DriftLevel::Stable => 0,
+        DriftLevel::Moderate => 1,
+        DriftLevel::Major => 2,
+    }
+}
+
+/// Per-environment sliding windows plus the latest check result.
+struct EnvWindow {
+    scores: VecDeque<f64>,
+    /// One window per monitored baseline column, aligned with
+    /// `DriftBaseline::columns`.
+    features: Vec<VecDeque<f64>>,
+    rows: u64,
+    checks: u64,
+    since_check: usize,
+    signals: Vec<SignalDrift>,
+}
+
+/// The online drift sentinel. Thread-safe; the scoring engine calls
+/// [`DriftMonitor::observe`] after each scored batch.
+pub struct DriftMonitor {
+    baseline: DriftBaseline,
+    cfg: MonitorConfig,
+    state: Mutex<BTreeMap<u16, EnvWindow>>,
+}
+
+impl DriftMonitor {
+    /// Build a sentinel around a train-time baseline.
+    pub fn new(baseline: DriftBaseline, cfg: MonitorConfig) -> Self {
+        DriftMonitor {
+            baseline,
+            cfg,
+            state: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The baseline the sentinel compares against.
+    pub fn baseline(&self) -> &DriftBaseline {
+        &self.baseline
+    }
+
+    /// Ingest one scored batch: `features` is row-major with
+    /// `n_features` values per row, aligned with `scores`/`env_ids`.
+    /// Rows with non-finite scores (quarantine fallbacks) are skipped —
+    /// they must never poison a drift window. Environments without a
+    /// train-time baseline are ignored.
+    ///
+    /// Purely observational: nothing here is read back by scoring.
+    pub fn observe(&self, scores: &[f64], env_ids: &[u16], features: &[f32], n_features: usize) {
+        debug_assert_eq!(scores.len(), env_ids.len());
+        debug_assert_eq!(features.len(), env_ids.len() * n_features);
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (r, (&score, &env)) in scores.iter().zip(env_ids).enumerate() {
+            if !score.is_finite() || self.baseline.env(env).is_none() {
+                continue;
+            }
+            let w = state.entry(env).or_insert_with(|| EnvWindow {
+                scores: VecDeque::with_capacity(self.cfg.window.min(4096)),
+                features: vec![VecDeque::new(); self.baseline.columns.len()],
+                rows: 0,
+                checks: 0,
+                since_check: 0,
+                signals: Vec::new(),
+            });
+            push_window(&mut w.scores, score, self.cfg.window);
+            for (k, &col) in self.baseline.columns.iter().enumerate() {
+                let v = f64::from(features[r * n_features + col as usize]);
+                if v.is_finite() {
+                    push_window(&mut w.features[k], v, self.cfg.window);
+                }
+            }
+            w.rows += 1;
+            w.since_check += 1;
+            if w.since_check >= self.cfg.check_every && w.scores.len() >= self.cfg.min_samples {
+                w.since_check = 0;
+                self.check_env(env, w);
+            }
+        }
+    }
+
+    /// Recompute every signal's windowed PSI for one environment,
+    /// publish gauges, and emit escalation events on band rises.
+    fn check_env(&self, env: u16, w: &mut EnvWindow) {
+        let baseline = self.baseline.env(env).expect("caller checked");
+        let mut signals = Vec::with_capacity(1 + baseline.features.len());
+        let window: Vec<f64> = w.scores.iter().copied().collect();
+        if let Ok(report) = psi(&baseline.scores.points, &window, self.cfg.n_buckets) {
+            signals.push(make_signal("score".to_string(), report));
+        }
+        for fb in &baseline.features {
+            let Some(k) = self.baseline.columns.iter().position(|&c| c == fb.column) else {
+                continue;
+            };
+            if w.features[k].len() < self.cfg.min_samples {
+                continue;
+            }
+            let window: Vec<f64> = w.features[k].iter().copied().collect();
+            if let Ok(report) = psi(&fb.sketch.points, &window, self.cfg.n_buckets) {
+                signals.push(make_signal(format!("feature_{}", fb.column), report));
+            }
+        }
+        // Publish gauges and escalate rising bands through the tracer.
+        let env_label = env.to_string();
+        for s in &signals {
+            obs::registry()
+                .gauge(
+                    "drift_psi",
+                    &[("env", env_label.as_str()), ("signal", s.signal.as_str())],
+                )
+                .set(s.psi);
+            let previous = w
+                .signals
+                .iter()
+                .find(|p| p.signal == s.signal)
+                .map_or(DriftLevel::Stable, |p| p.level);
+            if level_rank(s.level) > level_rank(previous) {
+                let from = format!("{previous:?}");
+                let to = format!("{:?}", s.level);
+                let psi_val = format!("{:.4}", s.psi);
+                lightmirm_core::event!(
+                    "drift_escalation",
+                    env = env_label,
+                    signal = s.signal,
+                    from = from,
+                    to = to,
+                    psi = psi_val,
+                );
+            }
+        }
+        w.checks += 1;
+        w.signals = signals;
+    }
+
+    /// Snapshot the latest drift state across monitored environments.
+    pub fn drift_report(&self) -> DriftReport {
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        DriftReport {
+            envs: state
+                .iter()
+                .map(|(&env_id, w)| EnvDrift {
+                    env_id,
+                    rows: w.rows,
+                    checks: w.checks,
+                    signals: w.signals.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Force a PSI check on every environment whose window holds at
+    /// least `min_samples` rows, regardless of `check_every` — used at
+    /// shutdown so short replays still produce a final report.
+    pub fn check_now(&self) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let envs: Vec<u16> = state.keys().copied().collect();
+        for env in envs {
+            let w = state.get_mut(&env).expect("key just listed");
+            if w.scores.len() >= self.cfg.min_samples {
+                w.since_check = 0;
+                self.check_env(env, w);
+            }
+        }
+    }
+}
+
+fn make_signal(signal: String, report: PsiReport) -> SignalDrift {
+    SignalDrift {
+        signal,
+        psi: report.psi,
+        level: report.level(),
+        report,
+    }
+}
+
+fn push_window(w: &mut VecDeque<f64>, v: f64, cap: usize) {
+    if w.len() == cap {
+        w.pop_front();
+    }
+    w.push_back(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightmirm_core::bundle::QuantileSketch;
+    use lightmirm_core::bundle::{EnvBaseline, FeatureBaseline};
+
+    fn uniformish(n: usize, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 / n as f64) + offset).collect()
+    }
+
+    /// A uniform sample streamed in mixed order (stride by a prime), so
+    /// every contiguous sliding window is itself ~uniform — stationary,
+    /// the way production traffic is between shifts.
+    fn stream(n: usize, offset: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 7919) % n) as f64 / n as f64 + offset)
+            .collect()
+    }
+
+    /// Baseline for envs 0 and 1 over the same uniform score
+    /// distribution, monitoring feature column 1.
+    fn baseline() -> DriftBaseline {
+        let scores = QuantileSketch::from_samples(&uniformish(2000, 0.0), 64).unwrap();
+        let feat = QuantileSketch::from_samples(&uniformish(2000, 5.0), 64).unwrap();
+        DriftBaseline {
+            columns: vec![1],
+            envs: (0..2)
+                .map(|env_id| EnvBaseline {
+                    env_id,
+                    scores: scores.clone(),
+                    features: vec![FeatureBaseline {
+                        column: 1,
+                        sketch: feat.clone(),
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    fn observe_rows(mon: &DriftMonitor, env: u16, scores: &[f64], feat_offset: f64) {
+        let envs = vec![env; scores.len()];
+        let features: Vec<f32> = scores
+            .iter()
+            .enumerate()
+            .flat_map(|(i, _)| {
+                let v = (i % 97) as f32 / 97.0 + feat_offset as f32 + 5.0;
+                [0.0f32, v]
+            })
+            .collect();
+        mon.observe(scores, &envs, &features, 2);
+    }
+
+    #[test]
+    fn shifted_env_reports_major_stable_env_reports_stable() {
+        let mon = DriftMonitor::new(
+            baseline(),
+            MonitorConfig {
+                window: 1024,
+                min_samples: 64,
+                check_every: 128,
+                n_buckets: 10,
+            },
+        );
+        // Env 0 streams the training distribution; env 1 streams a
+        // 2020-style shifted one (scores and the monitored feature).
+        observe_rows(&mon, 0, &stream(600, 0.0), 0.0);
+        observe_rows(&mon, 1, &stream(600, 0.5), 0.5);
+        let report = mon.drift_report();
+        let stable = report.env(0).expect("env 0 monitored");
+        let shifted = report.env(1).expect("env 1 monitored");
+        assert!(stable.checks >= 1 && shifted.checks >= 1);
+        assert_eq!(stable.level(), DriftLevel::Stable, "{stable:?}");
+        assert_eq!(shifted.level(), DriftLevel::Major, "{shifted:?}");
+        // The per-signal breakdown carries both signals.
+        let signals: Vec<&str> = shifted.signals.iter().map(|s| s.signal.as_str()).collect();
+        assert_eq!(signals, ["score", "feature_1"]);
+        assert!(shifted.signals.iter().all(|s| s.psi > 0.25), "{shifted:?}");
+    }
+
+    #[test]
+    fn non_finite_scores_and_unbaselined_envs_are_skipped() {
+        let mon = DriftMonitor::new(baseline(), MonitorConfig::default());
+        let scores = [f64::NAN, f64::INFINITY, 0.5, 0.5];
+        let envs = [0u16, 0, 9, 0];
+        let features = [0.0f32; 8];
+        mon.observe(&scores, &envs, &features, 2);
+        let report = mon.drift_report();
+        assert_eq!(report.env(0).map(|e| e.rows), Some(1));
+        assert!(report.env(9).is_none(), "env 9 has no baseline");
+    }
+
+    #[test]
+    fn check_now_forces_a_report_below_check_every() {
+        let mon = DriftMonitor::new(
+            baseline(),
+            MonitorConfig {
+                min_samples: 32,
+                check_every: 100_000,
+                ..MonitorConfig::default()
+            },
+        );
+        observe_rows(&mon, 0, &stream(100, 0.0), 0.0);
+        assert_eq!(mon.drift_report().env(0).unwrap().checks, 0);
+        mon.check_now();
+        let env = mon.drift_report();
+        let env = env.env(0).unwrap();
+        assert_eq!(env.checks, 1);
+        assert_eq!(env.level(), DriftLevel::Stable);
+    }
+
+    #[test]
+    fn windows_slide_so_recovery_is_visible() {
+        let mon = DriftMonitor::new(
+            baseline(),
+            MonitorConfig {
+                window: 256,
+                min_samples: 64,
+                check_every: 256,
+                n_buckets: 10,
+            },
+        );
+        // Shifted burst first, then the window refills with in-dist rows.
+        observe_rows(&mon, 0, &stream(256, 0.5), 0.5);
+        assert_eq!(
+            mon.drift_report().env(0).unwrap().level(),
+            DriftLevel::Major
+        );
+        observe_rows(&mon, 0, &stream(512, 0.0), 0.0);
+        assert_eq!(
+            mon.drift_report().env(0).unwrap().level(),
+            DriftLevel::Stable,
+            "window should slide past the burst"
+        );
+    }
+
+    #[test]
+    fn drift_report_serializes_to_json() {
+        let mon = DriftMonitor::new(
+            baseline(),
+            MonitorConfig {
+                min_samples: 32,
+                check_every: 64,
+                ..MonitorConfig::default()
+            },
+        );
+        observe_rows(&mon, 0, &stream(128, 0.0), 0.0);
+        let json = serde_json::to_string(&mon.drift_report()).expect("serializes");
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let envs = v["envs"].as_array().unwrap();
+        assert_eq!(envs[0]["env_id"], 0u64);
+        assert_eq!(envs[0]["signals"][0]["signal"], "score");
+        assert!(envs[0]["signals"][0]["report"]["buckets"]
+            .as_array()
+            .is_some());
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Warn-only perf-regression gate over the longitudinal bench trajectory.
+#
+# The bench bins (`hotpath`, `serve_hotpath`) append one commit- and
+# thread-count-stamped JSON line per run to
+# results/BENCH_trajectory.jsonl. This script runs the `trajectory_gate`
+# bin, which compares the newest run of each (bench, quick, threads)
+# cohort against the rolling median of the last $WINDOW prior runs and
+# warns about hot-path metrics more than $TOLERANCE slower.
+#
+# Warn-only by design: CI runners are noisy shared hardware, so a flagged
+# slowdown is a prompt to look at the uploaded trajectory artifact, not a
+# merge blocker. Pass --strict to turn warnings into a nonzero exit.
+#
+# Usage: scripts/check_bench_regression.sh [--strict]
+#        TRAJECTORY=path WINDOW=5 TOLERANCE=0.2 scripts/check_bench_regression.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRAJECTORY="${TRAJECTORY:-results/BENCH_trajectory.jsonl}"
+WINDOW="${WINDOW:-5}"
+TOLERANCE="${TOLERANCE:-0.2}"
+
+cargo run --release -p lightmirm-bench --bin trajectory_gate -- \
+  --trajectory "$TRAJECTORY" --window "$WINDOW" --tolerance "$TOLERANCE" "$@"
