@@ -17,6 +17,7 @@
 use lightmirm_core::kernels;
 use lightmirm_core::lr;
 use lightmirm_core::prelude::*;
+use lightmirm_core::simd;
 use rayon::ThreadPoolBuilder;
 use serde_json::json;
 use std::time::Instant;
@@ -177,12 +178,59 @@ fn main() {
         kernels::predict_rows_into(&theta, &x, &rows, &mut preds);
     });
 
+    // Backend split: the same kernels pinned explicitly to the blocked
+    // SIMD path and the portable scalar path, on the 1-thread pool so the
+    // inner loop — not scheduling — is what's measured.
+    let mut backend_kernels = Vec::new();
+    let mut backend_metrics: Vec<(String, f64)> = Vec::new();
+    let mut fused_by_backend = [0.0f64; 2];
+    let mut predict_by_backend = [0.0f64; 2];
+    for (bi, backend) in [Backend::Simd, Backend::Scalar].into_iter().enumerate() {
+        let name = backend.name();
+        let fused_b = median_secs(sc.reps, || {
+            serial_pool.install(|| {
+                kernels::env_loss_grad_on(backend, &theta, &x, &labels, &rows, reg, &mut grad);
+            })
+        });
+        let hvp_b = median_secs(sc.reps, || {
+            serial_pool.install(|| {
+                kernels::hvp_from_logits_on(backend, &logits, &x, &rows, reg, &v, &mut hvp);
+            })
+        });
+        let predict_b = median_secs(sc.reps, || {
+            serial_pool.install(|| {
+                kernels::predict_rows_into_on(backend, &theta, &x, &rows, &mut preds);
+            })
+        });
+        fused_by_backend[bi] = fused_b;
+        predict_by_backend[bi] = predict_b;
+        for (kernel, secs) in [
+            ("fused_loss_grad", fused_b),
+            ("hvp_cached", hvp_b),
+            ("predict", predict_b),
+        ] {
+            backend_kernels.push(record(&format!("{kernel}_{name}"), secs, sc.rows));
+            backend_metrics.push((
+                format!("{kernel}_{name}_ns_per_row"),
+                secs * 1e9 / sc.rows as f64,
+            ));
+        }
+    }
+    let simd_vs_scalar_fused = fused_by_backend[1] / fused_by_backend[0];
+    let simd_vs_scalar_predict = predict_by_backend[1] / predict_by_backend[0];
+    backend_metrics.push(("simd_vs_scalar_fused_speedup".into(), simd_vs_scalar_fused));
+    backend_metrics.push((
+        "simd_vs_scalar_predict_speedup".into(),
+        simd_vs_scalar_predict,
+    ));
+
     let report = json!({
         "bench": "hotpath",
         "quick": quick,
         "hardware": json!({
             "logical_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             "rayon_threads": threads,
+            "kernel_backend": simd::backend().name(),
         }),
         "dataset": json!({
             "rows": sc.rows,
@@ -203,12 +251,15 @@ fn main() {
             record("predict_serial", predict_serial, sc.rows),
             record("predict_parallel", predict_parallel, sc.rows),
         ],
+        "backends": backend_kernels,
         "speedups": json!({
             "fused_vs_separate": separate / fused_serial,
             "parallel_vs_serial": fused_serial / fused_parallel,
             "env_parallel_vs_serial": env_epoch_serial / env_epoch_parallel,
             "hvp_cached_vs_recompute": hvp_reference / hvp_cached,
             "predict_parallel_vs_serial": predict_serial / predict_parallel,
+            "simd_vs_scalar_fused": simd_vs_scalar_fused,
+            "simd_vs_scalar_predict": simd_vs_scalar_predict,
         }),
     });
 
@@ -221,7 +272,7 @@ fn main() {
 
     // Longitudinal record: ns/row per kernel plus the speedup ratios,
     // stamped with commit + thread count for like-for-like comparison.
-    let metrics = vec![
+    let mut metrics = vec![
         (
             "separate_loss_grad_ns_per_row".into(),
             separate * 1e9 / sc.rows as f64,
@@ -264,6 +315,7 @@ fn main() {
             hvp_reference / hvp_cached,
         ),
     ];
+    metrics.extend(backend_metrics);
     let record =
         lightmirm_bench::trajectory::TrajectoryRecord::now("hotpath", quick, threads, metrics);
     let tp = std::path::Path::new(&trajectory_path);
@@ -272,11 +324,67 @@ fn main() {
         "appended {} ({}) to {trajectory_path}",
         record.commit, record.bench
     );
+
+    // nnz sweep: the fused and predict kernels on both backends across
+    // GBDT sizes (trees per row), each appended under its own cohort name
+    // (`hotpath_nnz8` …) so the longitudinal gate tracks them separately.
+    let sweep_rows = if quick { 10_000 } else { 60_000 };
+    for sweep_nnz in [8usize, 16, 32, 64] {
+        let (sx, sy, stheta) = synthetic(sweep_rows, sc.n_cols, sweep_nnz);
+        let srows: Vec<u32> = (0..sweep_rows as u32).collect();
+        let mut sgrad = vec![0.0; sc.n_cols];
+        let mut spreds = vec![0.0; sweep_rows];
+        let mut sweep_metrics: Vec<(String, f64)> = Vec::new();
+        let mut sweep_fused = [0.0f64; 2];
+        for (bi, backend) in [Backend::Simd, Backend::Scalar].into_iter().enumerate() {
+            let name = backend.name();
+            let fused_b = median_secs(sc.reps, || {
+                serial_pool.install(|| {
+                    kernels::env_loss_grad_on(backend, &stheta, &sx, &sy, &srows, reg, &mut sgrad);
+                })
+            });
+            let predict_b = median_secs(sc.reps, || {
+                serial_pool.install(|| {
+                    kernels::predict_rows_into_on(backend, &stheta, &sx, &srows, &mut spreds);
+                })
+            });
+            sweep_fused[bi] = fused_b;
+            sweep_metrics.push((
+                format!("fused_loss_grad_{name}_ns_per_row"),
+                fused_b * 1e9 / sweep_rows as f64,
+            ));
+            sweep_metrics.push((
+                format!("predict_{name}_ns_per_row"),
+                predict_b * 1e9 / sweep_rows as f64,
+            ));
+        }
+        sweep_metrics.push((
+            "simd_vs_scalar_fused_speedup".into(),
+            sweep_fused[1] / sweep_fused[0],
+        ));
+        let bench_name = format!("hotpath_nnz{sweep_nnz}");
+        let srecord = lightmirm_bench::trajectory::TrajectoryRecord::now(
+            &bench_name,
+            quick,
+            threads,
+            sweep_metrics,
+        );
+        srecord.append(tp).expect("append sweep trajectory");
+        eprintln!(
+            "appended {} ({}, simd {:.3}x over scalar) to {trajectory_path}",
+            srecord.commit,
+            srecord.bench,
+            sweep_fused[1] / sweep_fused[0],
+        );
+    }
+
     println!(
-        "fused_vs_separate {:.3}x | parallel_vs_serial {:.3}x | hvp_cached {:.3}x | predict {:.3}x",
+        "fused_vs_separate {:.3}x | parallel_vs_serial {:.3}x | hvp_cached {:.3}x | predict {:.3}x | simd_vs_scalar fused {:.3}x predict {:.3}x",
         separate / fused_serial,
         fused_serial / fused_parallel,
         hvp_reference / hvp_cached,
         predict_serial / predict_parallel,
+        simd_vs_scalar_fused,
+        simd_vs_scalar_predict,
     );
 }

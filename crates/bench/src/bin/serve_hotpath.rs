@@ -237,6 +237,7 @@ fn main() {
         "quick": quick,
         "hardware": json!({
             "logical_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            "kernel_backend": lightmirm_core::simd::backend().name(),
         }),
         "stream": json!({
             "rows": sc.rows,

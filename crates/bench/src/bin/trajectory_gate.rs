@@ -5,6 +5,9 @@
 //! each `(bench, quick, threads)` cohort against the rolling median of
 //! up to `--window` (default 5) immediately preceding runs, flagging
 //! hot-path metrics more than `--tolerance` (default 0.2 = 20%) slower.
+//! This covers the per-`nnz_per_row` sweep cohorts (`hotpath_nnz8` …
+//! `hotpath_nnz64`) the same way as the primary scenarios: each sweep
+//! point regresses only against its own history.
 //!
 //! Warn-only by default — benchmark noise on shared CI runners must not
 //! block merges — the exit code is 0 unless `--strict` is passed, in

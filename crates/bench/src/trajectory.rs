@@ -15,6 +15,13 @@
 //! against the rolling median of the prior runs, warning when a hot-path
 //! metric degrades by more than the tolerance.
 //!
+//! Cohort names in the file today: `hotpath` and `serve` (the primary
+//! scenarios), plus the `hotpath_nnz8` / `hotpath_nnz16` /
+//! `hotpath_nnz32` / `hotpath_nnz64` sweep the `hotpath` bin appends to
+//! track the SIMD-vs-scalar kernel split across GBDT sizes. Each sweep
+//! point is its own cohort, so a regression at one `nnz_per_row` cannot
+//! hide inside another's history; all cohorts stay warn-only.
+//!
 //! Metric direction is encoded in the name: metrics ending in
 //! `_rows_per_sec` are higher-is-better; everything else (`_ns_per_row`,
 //! `_us`, `_secs`) is lower-is-better.
@@ -310,6 +317,41 @@ mod tests {
             rec("hotpath", 1, &[("k_ns_per_row", 40.0)]),
         ];
         assert!(check_regressions(&mixed, 5, 0.2).is_empty());
+    }
+
+    #[test]
+    fn nnz_sweep_cohorts_are_tracked_independently() {
+        // The hotpath bin appends one record per sweep point; a slowdown
+        // at nnz=64 must be flagged against nnz=64 history only, not
+        // averaged away against the (faster) nnz=8 cohort.
+        let mut records = Vec::new();
+        for _ in 0..4 {
+            records.push(rec(
+                "hotpath_nnz8",
+                1,
+                &[("fused_loss_grad_simd_ns_per_row", 20.0)],
+            ));
+            records.push(rec(
+                "hotpath_nnz64",
+                1,
+                &[("fused_loss_grad_simd_ns_per_row", 120.0)],
+            ));
+        }
+        records.push(rec(
+            "hotpath_nnz8",
+            1,
+            &[("fused_loss_grad_simd_ns_per_row", 21.0)],
+        ));
+        records.push(rec(
+            "hotpath_nnz64",
+            1,
+            &[("fused_loss_grad_simd_ns_per_row", 170.0)],
+        ));
+        let flagged = check_regressions(&records, 5, 0.2);
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        assert_eq!(flagged[0].bench, "hotpath_nnz64");
+        // The speedup-suffixed sweep metric is higher-is-better.
+        assert!(higher_is_better("simd_vs_scalar_fused_speedup"));
     }
 
     #[test]

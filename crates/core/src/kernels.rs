@@ -10,23 +10,35 @@
 //!    same logit twice), and [`env_loss_grad_cached`] additionally records
 //!    the per-row logits so the outer-loop HVP at the same `θ` can skip
 //!    its own logit pass via [`hvp_from_logits`];
-//! 2. **Deterministic chunked execution** — every reduction splits the row
+//! 2. **Vectorized row-block execution** — the default
+//!    [`crate::simd::Backend::Simd`] backend walks each chunk in
+//!    [`crate::simd::BLOCK_ROWS`]-row blocks: the touched weights are
+//!    gathered into contiguous aligned lanes
+//!    ([`MultiHotMatrix::gather_block`]) and the per-row `θᵀx` sums run as
+//!    eight independent accumulator chains
+//!    ([`crate::simd::accumulate_lanes`]) — vector adds across rows, with
+//!    a scalar tail for the last `rows.len() % BLOCK_ROWS` rows. Per-row
+//!    operation sequences are unchanged, so the blocked kernels are
+//!    **bit-identical** to the scalar backend and to the serial reference
+//!    in [`crate::lr`] (see [`crate::simd`] for the contract, and
+//!    `crates/core/tests/simd_kernels.rs` for the proof);
+//! 3. **Deterministic chunked execution** — every reduction splits the row
 //!    slice at fixed [`CHUNK_ROWS`] boundaries, accumulates each chunk
 //!    sequentially into chunk-local scratch, and merges the chunk results
 //!    **sequentially in chunk order**. The reduction tree therefore
 //!    depends only on the data, never on the parallel schedule, and the
 //!    output is bit-identical for any thread count (including 1);
-//! 3. A [`ScratchPool`] of per-environment buffers (`θ̄`, gradient, `u`,
-//!    HVP, logit cache) so the env-parallel trainers allocate once per
-//!    `fit` instead of once per epoch.
+//! 4. A [`ScratchPool`] of per-environment buffers (`θ̄`, gradient, `u`,
+//!    HVP, logit cache) — all 64-byte-aligned [`AlignedVec`]s — so the
+//!    env-parallel trainers allocate once per `fit` instead of once per
+//!    epoch.
 //!
-//! The single-chunk case (`rows.len() <= CHUNK_ROWS`, which covers every
-//! per-province environment in the default experiments) runs the exact
-//! floating-point operation sequence of the serial reference kernels in
-//! [`crate::lr`], so fusing is a pure execution-cost optimization: the
-//! trainers' numeric trajectories are unchanged.
+//! Every dispatching kernel has an `_on` sibling taking an explicit
+//! [`Backend`], used by the bench harness and the bit-exactness suites to
+//! measure and compare both paths inside one process.
 
 use crate::lr::sigmoid;
+use crate::simd::{self, sigmoid_softplus, AlignedVec, Backend, BLOCK_ROWS};
 use crate::sparse::MultiHotMatrix;
 use rayon::prelude::*;
 
@@ -59,10 +71,39 @@ fn kobs() -> &'static KernelObs {
     })
 }
 
-/// One chunk of the fused forward+backward pass: accumulates the
-/// unnormalized loss sum and the `inv_n`-scaled gradient over
-/// `chunk_rows`, optionally recording each row's logit.
+/// Softplus with the reference's branch structure: `ln(1 + e^z)` computed
+/// as `z + ln_1p(e^{−z})` for positive `z`.
+#[inline]
+fn softplus(z: f64) -> f64 {
+    if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+/// One chunk of the fused forward+backward pass on the selected backend:
+/// accumulates the unnormalized loss sum and the `inv_n`-scaled gradient
+/// over `chunk_rows`, optionally recording each row's logit.
+#[allow(clippy::too_many_arguments)]
 fn fused_chunk(
+    backend: Backend,
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    labels: &[u8],
+    chunk_rows: &[u32],
+    inv_n: f64,
+    grad: &mut [f64],
+    logits: Option<&mut [f64]>,
+) -> f64 {
+    match backend {
+        Backend::Simd => fused_chunk_blocked(theta, x, labels, chunk_rows, inv_n, grad, logits),
+        Backend::Scalar => fused_chunk_scalar(theta, x, labels, chunk_rows, inv_n, grad, logits),
+    }
+}
+
+/// Portable per-row backend (PR 1's loop, with the shared-`exp` forward).
+fn fused_chunk_scalar(
     theta: &[f64],
     x: &MultiHotMatrix,
     labels: &[u8],
@@ -79,14 +120,57 @@ fn fused_chunk(
             ls[k] = z;
         }
         let y = labels[r] as f64;
-        // Stable BCE-with-logits: softplus(z) − y z.
-        let softplus = if z > 0.0 {
-            z + (-z).exp().ln_1p()
-        } else {
-            z.exp().ln_1p()
-        };
-        total += softplus - y * z;
-        let coef = (sigmoid(z) - y) * inv_n;
+        // Stable BCE-with-logits (softplus(z) − y z) and σ(z) from one exp.
+        let (sig, sp) = sigmoid_softplus(z);
+        total += sp - y * z;
+        let coef = (sig - y) * inv_n;
+        x.scatter_add(r, coef, grad);
+    }
+    total
+}
+
+/// Row-block backend: gather eight rows' weights into aligned lanes, sum
+/// them with eight independent accumulators, then finish each row **in
+/// row order** (loss accumulation and gradient scatter), so the fp
+/// operation sequence matches [`fused_chunk_scalar`] exactly.
+fn fused_chunk_blocked(
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    labels: &[u8],
+    chunk_rows: &[u32],
+    inv_n: f64,
+    grad: &mut [f64],
+    mut logits: Option<&mut [f64]>,
+) -> f64 {
+    let mut total = 0.0;
+    let mut base = 0usize;
+    let mut blocks = chunk_rows.chunks_exact(BLOCK_ROWS);
+    for block in &mut blocks {
+        let mut zs = [0.0; BLOCK_ROWS];
+        x.dot_block(block, theta, &mut zs);
+        for (k, (&r, &z)) in block.iter().zip(&zs).enumerate() {
+            let r = r as usize;
+            if let Some(ls) = logits.as_deref_mut() {
+                ls[base + k] = z;
+            }
+            let y = labels[r] as f64;
+            let (sig, sp) = sigmoid_softplus(z);
+            total += sp - y * z;
+            let coef = (sig - y) * inv_n;
+            x.scatter_add(r, coef, grad);
+        }
+        base += BLOCK_ROWS;
+    }
+    for (k, &r) in blocks.remainder().iter().enumerate() {
+        let r = r as usize;
+        let z = x.dot_row(r, theta);
+        if let Some(ls) = logits.as_deref_mut() {
+            ls[base + k] = z;
+        }
+        let y = labels[r] as f64;
+        let (sig, sp) = sigmoid_softplus(z);
+        total += sp - y * z;
+        let coef = (sig - y) * inv_n;
         x.scatter_add(r, coef, grad);
     }
     total
@@ -108,17 +192,31 @@ fn finish_loss_grad(total: f64, n_rows: usize, theta: &[f64], reg: f64, grad: &m
 
 /// Fused `env_loss` + `env_grad`: one logit evaluation per row feeds both
 /// the loss sum and the gradient scatter. Returns the loss; writes the
-/// gradient into `grad_out` (zeroed first).
+/// gradient into `grad_out` (zeroed first). Dispatches to the backend
+/// selected by [`crate::simd::backend`].
 ///
 /// Rows are processed in fixed [`CHUNK_ROWS`] chunks, in parallel, with
 /// the chunk partials merged in chunk order — the result is bit-identical
-/// for any thread count, and for `rows.len() <= CHUNK_ROWS` bit-identical
-/// to the serial reference pair.
+/// for any thread count and either backend, and for
+/// `rows.len() <= CHUNK_ROWS` bit-identical to the serial reference pair.
 ///
 /// # Panics
 ///
 /// Panics when `rows` is empty — callers must skip empty environments.
 pub fn env_loss_grad(
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    labels: &[u8],
+    rows: &[u32],
+    reg: f64,
+    grad_out: &mut [f64],
+) -> f64 {
+    env_loss_grad_on(simd::backend(), theta, x, labels, rows, reg, grad_out)
+}
+
+/// [`env_loss_grad`] on an explicit [`Backend`].
+pub fn env_loss_grad_on(
+    backend: Backend,
     theta: &[f64],
     x: &MultiHotMatrix,
     labels: &[u8],
@@ -136,14 +234,14 @@ pub fn env_loss_grad(
     };
     let inv_n = 1.0 / rows.len() as f64;
     let loss = if rows.len() <= CHUNK_ROWS {
-        let total = fused_chunk(theta, x, labels, rows, inv_n, grad_out, None);
+        let total = fused_chunk(backend, theta, x, labels, rows, inv_n, grad_out, None);
         finish_loss_grad(total, rows.len(), theta, reg, grad_out)
     } else {
-        let partials: Vec<(f64, Vec<f64>)> = rows
+        let partials: Vec<(f64, AlignedVec)> = rows
             .par_chunks(CHUNK_ROWS)
             .map(|chunk| {
-                let mut g = vec![0.0; theta.len()];
-                let s = fused_chunk(theta, x, labels, chunk, inv_n, &mut g, None);
+                let mut g = AlignedVec::zeroed(theta.len());
+                let s = fused_chunk(backend, theta, x, labels, chunk, inv_n, &mut g, None);
                 (s, g)
             })
             .collect();
@@ -174,6 +272,30 @@ pub fn env_loss_grad_cached(
     grad_out: &mut [f64],
     logits_out: &mut [f64],
 ) -> f64 {
+    env_loss_grad_cached_on(
+        simd::backend(),
+        theta,
+        x,
+        labels,
+        rows,
+        reg,
+        grad_out,
+        logits_out,
+    )
+}
+
+/// [`env_loss_grad_cached`] on an explicit [`Backend`].
+#[allow(clippy::too_many_arguments)]
+pub fn env_loss_grad_cached_on(
+    backend: Backend,
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    labels: &[u8],
+    rows: &[u32],
+    reg: f64,
+    grad_out: &mut [f64],
+    logits_out: &mut [f64],
+) -> f64 {
     assert!(!rows.is_empty(), "loss over an empty environment");
     assert_eq!(
         logits_out.len(),
@@ -189,15 +311,33 @@ pub fn env_loss_grad_cached(
     };
     let inv_n = 1.0 / rows.len() as f64;
     let loss = if rows.len() <= CHUNK_ROWS {
-        let total = fused_chunk(theta, x, labels, rows, inv_n, grad_out, Some(logits_out));
+        let total = fused_chunk(
+            backend,
+            theta,
+            x,
+            labels,
+            rows,
+            inv_n,
+            grad_out,
+            Some(logits_out),
+        );
         finish_loss_grad(total, rows.len(), theta, reg, grad_out)
     } else {
-        let partials: Vec<(f64, Vec<f64>)> = rows
+        let partials: Vec<(f64, AlignedVec)> = rows
             .par_chunks(CHUNK_ROWS)
             .zip(logits_out.par_chunks_mut(CHUNK_ROWS))
             .map(|(chunk, lchunk)| {
-                let mut g = vec![0.0; theta.len()];
-                let s = fused_chunk(theta, x, labels, chunk, inv_n, &mut g, Some(lchunk));
+                let mut g = AlignedVec::zeroed(theta.len());
+                let s = fused_chunk(
+                    backend,
+                    theta,
+                    x,
+                    labels,
+                    chunk,
+                    inv_n,
+                    &mut g,
+                    Some(lchunk),
+                );
                 (s, g)
             })
             .collect();
@@ -213,7 +353,7 @@ pub fn env_loss_grad_cached(
 }
 
 /// Ordered merge of chunk partials: chunk order, not completion order.
-fn merge_partials(partials: Vec<(f64, Vec<f64>)>, out: &mut [f64]) -> f64 {
+fn merge_partials(partials: Vec<(f64, AlignedVec)>, out: &mut [f64]) -> f64 {
     let mut total = 0.0;
     for (s, g) in &partials {
         total += s;
@@ -231,20 +371,49 @@ fn merge_partials(partials: Vec<(f64, Vec<f64>)>, out: &mut [f64]) -> f64 {
 ///
 /// Panics when `rows` is empty.
 pub fn env_loss(theta: &[f64], x: &MultiHotMatrix, labels: &[u8], rows: &[u32], reg: f64) -> f64 {
+    env_loss_on(simd::backend(), theta, x, labels, rows, reg)
+}
+
+/// [`env_loss`] on an explicit [`Backend`].
+pub fn env_loss_on(
+    backend: Backend,
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    labels: &[u8],
+    rows: &[u32],
+    reg: f64,
+) -> f64 {
     assert!(!rows.is_empty(), "loss over an empty environment");
     let loss_chunk = |chunk: &[u32]| -> f64 {
-        let mut total = 0.0;
-        for &r in chunk {
-            let z = x.dot_row(r as usize, theta);
-            let y = labels[r as usize] as f64;
-            let softplus = if z > 0.0 {
-                z + (-z).exp().ln_1p()
-            } else {
-                z.exp().ln_1p()
-            };
-            total += softplus - y * z;
+        match backend {
+            Backend::Simd => {
+                let mut total = 0.0;
+                let mut blocks = chunk.chunks_exact(BLOCK_ROWS);
+                for block in &mut blocks {
+                    let mut zs = [0.0; BLOCK_ROWS];
+                    x.dot_block(block, theta, &mut zs);
+                    for (&r, &z) in block.iter().zip(&zs) {
+                        let y = labels[r as usize] as f64;
+                        total += softplus(z) - y * z;
+                    }
+                }
+                for &r in blocks.remainder() {
+                    let z = x.dot_row(r as usize, theta);
+                    let y = labels[r as usize] as f64;
+                    total += softplus(z) - y * z;
+                }
+                total
+            }
+            Backend::Scalar => {
+                let mut total = 0.0;
+                for &r in chunk {
+                    let z = x.dot_row(r as usize, theta);
+                    let y = labels[r as usize] as f64;
+                    total += softplus(z) - y * z;
+                }
+                total
+            }
         }
-        total
     };
     let total = if rows.len() <= CHUNK_ROWS {
         loss_chunk(rows)
@@ -273,25 +442,58 @@ pub fn env_grad(
     reg: f64,
     out: &mut [f64],
 ) {
+    env_grad_on(simd::backend(), theta, x, labels, rows, reg, out)
+}
+
+/// [`env_grad`] on an explicit [`Backend`].
+pub fn env_grad_on(
+    backend: Backend,
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    labels: &[u8],
+    rows: &[u32],
+    reg: f64,
+    out: &mut [f64],
+) {
     assert!(!rows.is_empty(), "gradient over an empty environment");
     debug_assert_eq!(out.len(), theta.len());
     out.fill(0.0);
     let inv_n = 1.0 / rows.len() as f64;
-    let grad_chunk = |chunk: &[u32], g: &mut [f64]| {
-        for &r in chunk {
-            let r = r as usize;
-            let z = x.dot_row(r, theta);
-            let coef = (sigmoid(z) - labels[r] as f64) * inv_n;
-            x.scatter_add(r, coef, g);
+    let grad_chunk = |chunk: &[u32], g: &mut [f64]| match backend {
+        Backend::Simd => {
+            let mut blocks = chunk.chunks_exact(BLOCK_ROWS);
+            for block in &mut blocks {
+                let mut zs = [0.0; BLOCK_ROWS];
+                x.dot_block(block, theta, &mut zs);
+                for (&r, &z) in block.iter().zip(&zs) {
+                    let r = r as usize;
+                    let coef = (sigmoid(z) - labels[r] as f64) * inv_n;
+                    x.scatter_add(r, coef, g);
+                }
+            }
+            for &r in blocks.remainder() {
+                let r = r as usize;
+                let z = x.dot_row(r, theta);
+                let coef = (sigmoid(z) - labels[r] as f64) * inv_n;
+                x.scatter_add(r, coef, g);
+            }
+        }
+        Backend::Scalar => {
+            for &r in chunk {
+                let r = r as usize;
+                let z = x.dot_row(r, theta);
+                let coef = (sigmoid(z) - labels[r] as f64) * inv_n;
+                x.scatter_add(r, coef, g);
+            }
         }
     };
     if rows.len() <= CHUNK_ROWS {
         grad_chunk(rows, out);
     } else {
-        let partials: Vec<Vec<f64>> = rows
+        let partials: Vec<AlignedVec> = rows
             .par_chunks(CHUNK_ROWS)
             .map(|chunk| {
-                let mut g = vec![0.0; theta.len()];
+                let mut g = AlignedVec::zeroed(theta.len());
                 grad_chunk(chunk, &mut g);
                 g
             })
@@ -327,6 +529,19 @@ pub fn hvp_from_logits(
     v: &[f64],
     out: &mut [f64],
 ) {
+    hvp_from_logits_on(simd::backend(), logits, x, rows, reg, v, out)
+}
+
+/// [`hvp_from_logits`] on an explicit [`Backend`].
+pub fn hvp_from_logits_on(
+    backend: Backend,
+    logits: &[f64],
+    x: &MultiHotMatrix,
+    rows: &[u32],
+    reg: f64,
+    v: &[f64],
+    out: &mut [f64],
+) {
     assert!(!rows.is_empty(), "HVP over an empty environment");
     assert_eq!(
         logits.len(),
@@ -336,23 +551,46 @@ pub fn hvp_from_logits(
     debug_assert_eq!(out.len(), v.len());
     out.fill(0.0);
     let inv_n = 1.0 / rows.len() as f64;
-    let hvp_chunk = |chunk: &[u32], lchunk: &[f64], h: &mut [f64]| {
-        for (&r, &z) in chunk.iter().zip(lchunk) {
-            let r = r as usize;
-            let p = sigmoid(z);
-            let xv = x.dot_row(r, v);
-            let coef = p * (1.0 - p) * xv * inv_n;
-            x.scatter_add(r, coef, h);
+    let hvp_chunk = |chunk: &[u32], lchunk: &[f64], h: &mut [f64]| match backend {
+        Backend::Simd => {
+            let mut blocks = chunk.chunks_exact(BLOCK_ROWS);
+            let mut lblocks = lchunk.chunks_exact(BLOCK_ROWS);
+            for (block, lblock) in (&mut blocks).zip(&mut lblocks) {
+                let mut xvs = [0.0; BLOCK_ROWS];
+                x.dot_block(block, v, &mut xvs);
+                for ((&r, &z), &xv) in block.iter().zip(lblock).zip(&xvs) {
+                    let r = r as usize;
+                    let p = sigmoid(z);
+                    let coef = p * (1.0 - p) * xv * inv_n;
+                    x.scatter_add(r, coef, h);
+                }
+            }
+            for (&r, &z) in blocks.remainder().iter().zip(lblocks.remainder()) {
+                let r = r as usize;
+                let p = sigmoid(z);
+                let xv = x.dot_row(r, v);
+                let coef = p * (1.0 - p) * xv * inv_n;
+                x.scatter_add(r, coef, h);
+            }
+        }
+        Backend::Scalar => {
+            for (&r, &z) in chunk.iter().zip(lchunk) {
+                let r = r as usize;
+                let p = sigmoid(z);
+                let xv = x.dot_row(r, v);
+                let coef = p * (1.0 - p) * xv * inv_n;
+                x.scatter_add(r, coef, h);
+            }
         }
     };
     if rows.len() <= CHUNK_ROWS {
         hvp_chunk(rows, logits, out);
     } else {
-        let partials: Vec<Vec<f64>> = rows
+        let partials: Vec<AlignedVec> = rows
             .par_chunks(CHUNK_ROWS)
             .zip(logits.par_chunks(CHUNK_ROWS))
             .map(|(chunk, lchunk)| {
-                let mut h = vec![0.0; v.len()];
+                let mut h = AlignedVec::zeroed(v.len());
                 hvp_chunk(chunk, lchunk, &mut h);
                 h
             })
@@ -371,16 +609,32 @@ pub fn hvp_from_logits(
 }
 
 /// Batch scoring: `out[k] = σ(θᵀx[rows[k]])`, row chunks in parallel.
-/// Purely elementwise, so parallelism cannot affect the values.
+/// Purely elementwise, so neither parallelism nor the backend can affect
+/// the values: the blocked path computes the dots through the same
+/// blocked gather the serve engine and offline predict share
+/// ([`MultiHotMatrix::dot_rows_into`]), then applies the identical
+/// sigmoid per row.
 ///
 /// # Panics
 ///
 /// Panics when `out.len() != rows.len()`.
 pub fn predict_rows_into(theta: &[f64], x: &MultiHotMatrix, rows: &[u32], out: &mut [f64]) {
+    predict_rows_into_on(simd::backend(), theta, x, rows, out)
+}
+
+/// [`predict_rows_into`] on an explicit [`Backend`].
+pub fn predict_rows_into_on(
+    backend: Backend,
+    theta: &[f64],
+    x: &MultiHotMatrix,
+    rows: &[u32],
+    out: &mut [f64],
+) {
     assert_eq!(out.len(), rows.len(), "output must match the row count");
     let score_chunk = |chunk: &[u32], ochunk: &mut [f64]| {
-        for (o, &r) in ochunk.iter_mut().zip(chunk) {
-            *o = sigmoid(x.dot_row(r as usize, theta));
+        x.dot_rows_into_on(backend, chunk, theta, ochunk);
+        for o in ochunk.iter_mut() {
+            *o = sigmoid(*o);
         }
     };
     if rows.len() <= CHUNK_ROWS {
@@ -401,21 +655,24 @@ pub fn predict_rows(theta: &[f64], x: &MultiHotMatrix, rows: &[u32]) -> Vec<f64>
 
 /// Per-environment scratch buffers for the meta trainers: the inner-step
 /// model `θ̄_m`, a gradient buffer, the meta-gradient `u`, an HVP buffer,
-/// and the logit cache of the environment's rows.
+/// and the logit cache of the environment's rows. All buffers are
+/// 64-byte-aligned [`AlignedVec`]s so the vectorized kernels' loads and
+/// stores never split cache lines; they deref to `[f64]`, so call sites
+/// are unchanged.
 #[derive(Debug, Clone)]
 pub struct EnvScratch {
     /// Inner-step parameters `θ̄_m = θ − α∇R^m(θ)`.
-    pub theta_bar: Vec<f64>,
+    pub theta_bar: AlignedVec,
     /// General-purpose gradient buffer (inner gradient, then reusable).
-    pub grad: Vec<f64>,
+    pub grad: AlignedVec,
     /// Meta-gradient `u = ∇_{θ̄} R_meta(θ̄_m)`, adjusted in place by the
     /// HVP chain term.
-    pub u: Vec<f64>,
+    pub u: AlignedVec,
     /// Hessian-vector product buffer.
-    pub hvp: Vec<f64>,
+    pub hvp: AlignedVec,
     /// `θᵀx` of every row of environment `m`, filled by the inner fused
     /// pass and reused by the outer HVP at the same `θ`.
-    pub logits: Vec<f64>,
+    pub logits: AlignedVec,
 }
 
 /// One [`EnvScratch`] per environment, allocated once per `fit` and
@@ -439,11 +696,11 @@ impl ScratchPool {
             slots: rows_per_env
                 .iter()
                 .map(|&n| EnvScratch {
-                    theta_bar: vec![0.0; n_cols],
-                    grad: vec![0.0; n_cols],
-                    u: vec![0.0; n_cols],
-                    hvp: vec![0.0; n_cols],
-                    logits: vec![0.0; n],
+                    theta_bar: AlignedVec::zeroed(n_cols),
+                    grad: AlignedVec::zeroed(n_cols),
+                    u: AlignedVec::zeroed(n_cols),
+                    hvp: AlignedVec::zeroed(n_cols),
+                    logits: AlignedVec::zeroed(n),
                 })
                 .collect(),
         }
@@ -503,15 +760,18 @@ mod tests {
     fn fused_matches_separate_exactly_on_one_chunk() {
         let (x, y, theta) = instance(300, 16, 7);
         let rows = all_rows(300);
-        for reg in [0.0, 0.3] {
-            let mut fused_grad = vec![0.0; 16];
-            let fused_loss = env_loss_grad(&theta, &x, &y, &rows, reg, &mut fused_grad);
-            let sep_loss = lr::env_loss(&theta, &x, &y, &rows, reg);
-            let mut sep_grad = vec![0.0; 16];
-            lr::env_grad(&theta, &x, &y, &rows, reg, &mut sep_grad);
-            // Single chunk: the exact same fp operation sequence.
-            assert_eq!(fused_loss, sep_loss);
-            assert_eq!(fused_grad, sep_grad);
+        for backend in [Backend::Simd, Backend::Scalar] {
+            for reg in [0.0, 0.3] {
+                let mut fused_grad = vec![0.0; 16];
+                let fused_loss =
+                    env_loss_grad_on(backend, &theta, &x, &y, &rows, reg, &mut fused_grad);
+                let sep_loss = lr::env_loss(&theta, &x, &y, &rows, reg);
+                let mut sep_grad = vec![0.0; 16];
+                lr::env_grad(&theta, &x, &y, &rows, reg, &mut sep_grad);
+                // Single chunk: the exact same fp operation sequence.
+                assert_eq!(fused_loss, sep_loss, "{backend:?}");
+                assert_eq!(fused_grad, sep_grad, "{backend:?}");
+            }
         }
     }
 
@@ -529,6 +789,39 @@ mod tests {
         for (a, b) in fused_grad.iter().zip(&sep_grad) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn simd_and_scalar_backends_are_bitwise_identical() {
+        // 9,000 rows: multiple chunks, and a tail not divisible by 8.
+        let (x, y, theta) = instance(9_003, 24, 19);
+        let rows = all_rows(9_003);
+        let v: Vec<f64> = (0..24).map(|i| 0.1 * i as f64 - 1.0).collect();
+        let run = |backend: Backend| {
+            let mut grad = vec![0.0; 24];
+            let mut logits = vec![0.0; rows.len()];
+            let loss = env_loss_grad_cached_on(
+                backend,
+                &theta,
+                &x,
+                &y,
+                &rows,
+                0.05,
+                &mut grad,
+                &mut logits,
+            );
+            let mut hvp = vec![0.0; 24];
+            hvp_from_logits_on(backend, &logits, &x, &rows, 0.05, &v, &mut hvp);
+            let mut preds = vec![0.0; rows.len()];
+            predict_rows_into_on(backend, &theta, &x, &rows, &mut preds);
+            let mut g2 = vec![0.0; 24];
+            env_grad_on(backend, &theta, &x, &y, &rows, 0.05, &mut g2);
+            let l2 = env_loss_on(backend, &theta, &x, &y, &rows, 0.05);
+            (loss, grad, logits, hvp, preds, g2, l2)
+        };
+        let simd = run(Backend::Simd);
+        let scalar = run(Backend::Scalar);
+        assert_eq!(simd, scalar);
     }
 
     #[test]
@@ -571,28 +864,31 @@ mod tests {
         let mut grad = vec![0.0; 12];
         let mut logits = vec![0.0; 500];
         env_loss_grad_cached(&theta, &x, &y, &rows, 0.2, &mut grad, &mut logits);
-        let mut cached = vec![0.0; 12];
-        hvp_from_logits(&logits, &x, &rows, 0.2, &v, &mut cached);
         let mut reference = vec![0.0; 12];
         lr::env_hvp(&theta, &x, &y, &rows, 0.2, &v, &mut reference);
-        assert_eq!(cached, reference);
+        for backend in [Backend::Simd, Backend::Scalar] {
+            let mut cached = vec![0.0; 12];
+            hvp_from_logits_on(backend, &logits, &x, &rows, 0.2, &v, &mut cached);
+            assert_eq!(cached, reference, "{backend:?}");
+        }
     }
 
     #[test]
     fn chunked_loss_and_grad_match_reference() {
         let (x, y, theta) = instance(6_000, 20, 13);
         let rows = all_rows(6_000);
-        assert!(
-            (env_loss(&theta, &x, &y, &rows, 0.1) - lr::env_loss(&theta, &x, &y, &rows, 0.1))
-                .abs()
-                .le(&1e-12)
-        );
-        let mut chunked = vec![0.0; 20];
-        env_grad(&theta, &x, &y, &rows, 0.1, &mut chunked);
-        let mut reference = vec![0.0; 20];
-        lr::env_grad(&theta, &x, &y, &rows, 0.1, &mut reference);
-        for (a, b) in chunked.iter().zip(&reference) {
-            assert!((a - b).abs() < 1e-12);
+        for backend in [Backend::Simd, Backend::Scalar] {
+            assert!((env_loss_on(backend, &theta, &x, &y, &rows, 0.1)
+                - lr::env_loss(&theta, &x, &y, &rows, 0.1))
+            .abs()
+            .le(&1e-12));
+            let mut chunked = vec![0.0; 20];
+            env_grad_on(backend, &theta, &x, &y, &rows, 0.1, &mut chunked);
+            let mut reference = vec![0.0; 20];
+            lr::env_grad(&theta, &x, &y, &rows, 0.1, &mut reference);
+            for (a, b) in chunked.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-12, "{backend:?}");
+            }
         }
     }
 
@@ -618,6 +914,22 @@ mod tests {
         assert_eq!(pool.slots()[2].logits.len(), 77);
         assert_eq!(pool.slots()[1].theta_bar.len(), 8);
         assert_eq!(pool.slots()[1].hvp.len(), 8);
+    }
+
+    #[test]
+    fn scratch_pool_buffers_are_aligned() {
+        let pool = ScratchPool::new(33, &[100, 7]);
+        for slot in pool.slots() {
+            for buf in [
+                &slot.theta_bar,
+                &slot.grad,
+                &slot.u,
+                &slot.hvp,
+                &slot.logits,
+            ] {
+                assert_eq!(buf.as_slice().as_ptr() as usize % crate::simd::ALIGNMENT, 0);
+            }
+        }
     }
 
     #[test]
@@ -648,16 +960,18 @@ mod tests {
             #[test]
             fn fused_equals_separate((x, y, theta) in strat()) {
                 let rows: Vec<u32> = (0..x.n_rows() as u32).collect();
-                for reg in [0.0, 0.25] {
-                    let mut fused_grad = vec![0.0; theta.len()];
-                    let fused_loss =
-                        env_loss_grad(&theta, &x, &y, &rows, reg, &mut fused_grad);
-                    let sep_loss = lr::env_loss(&theta, &x, &y, &rows, reg);
-                    let mut sep_grad = vec![0.0; theta.len()];
-                    lr::env_grad(&theta, &x, &y, &rows, reg, &mut sep_grad);
-                    prop_assert!((fused_loss - sep_loss).abs() < 1e-12);
-                    for (a, b) in fused_grad.iter().zip(&sep_grad) {
-                        prop_assert!((a - b).abs() < 1e-12);
+                for backend in [Backend::Simd, Backend::Scalar] {
+                    for reg in [0.0, 0.25] {
+                        let mut fused_grad = vec![0.0; theta.len()];
+                        let fused_loss =
+                            env_loss_grad_on(backend, &theta, &x, &y, &rows, reg, &mut fused_grad);
+                        let sep_loss = lr::env_loss(&theta, &x, &y, &rows, reg);
+                        let mut sep_grad = vec![0.0; theta.len()];
+                        lr::env_grad(&theta, &x, &y, &rows, reg, &mut sep_grad);
+                        prop_assert!((fused_loss - sep_loss).abs() < 1e-12);
+                        for (a, b) in fused_grad.iter().zip(&sep_grad) {
+                            prop_assert!((a - b).abs() < 1e-12);
+                        }
                     }
                 }
             }

@@ -8,7 +8,9 @@
 //! - **fused, parallel kernels** over that matrix ([`kernels`]): a
 //!   single-pass loss+gradient, a logit-caching HVP, and fixed-chunk
 //!   ordered reductions that keep results bit-identical for any thread
-//!   count;
+//!   count, executed by vectorized row-block inner loops over 64-byte
+//!   aligned scratch ([`simd`]) that stay bit-identical to the scalar
+//!   backend;
 //! - **environment-partitioned datasets** ([`mod@env`]);
 //! - the **trainers** of the paper's evaluation ([`trainers`]): ERM,
 //!   ERM + per-province fine-tuning, environment up-sampling, Group DRO,
@@ -61,6 +63,7 @@ pub mod nonlinear;
 pub mod obs;
 pub mod online;
 pub mod pipeline;
+pub mod simd;
 pub mod sparse;
 pub mod timing;
 pub mod trainers;
@@ -88,6 +91,7 @@ pub mod prelude {
         best_threshold, realized_profit, replay, OnlinePoint, OnlineReplay, ProfitModel,
     };
     pub use crate::pipeline::{FeatureExtractor, FeatureExtractorConfig, PipelineError};
+    pub use crate::simd::{AlignedVec, Backend, ALIGNMENT, BLOCK_ROWS};
     pub use crate::sparse::MultiHotMatrix;
     pub use crate::timing::{Histogram, OpCounter, Step, StepTimer};
     pub use crate::trainers::{

@@ -4,6 +4,12 @@
 //! all with implicit value 1.0. Storing only the active column indices
 //! makes the logistic-regression forward/backward passes `O(rows × trees)`
 //! instead of `O(rows × total_leaves)`.
+//!
+//! The constructor validates every index against `n_cols` once; the
+//! blocked gather ([`MultiHotMatrix::gather_block`]) relies on that
+//! invariant to read the weight vector without per-element bounds checks.
+
+use crate::simd::{self, Backend, BLOCK_ROWS};
 
 /// A binary matrix with a fixed number of ones per row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,16 +104,110 @@ impl MultiHotMatrix {
     }
 
     /// Batch `θᵀx` over a row subset: `out[k] = dot_row(rows[k], weights)`.
-    /// One call per chunk keeps the parallel scoring kernel's inner loop
-    /// free of per-row dispatch.
+    /// Offline predict and the serve engine's `score_batch` both route
+    /// through this one inner loop; on the SIMD backend it runs
+    /// [`BLOCK_ROWS`]-row blocks through [`MultiHotMatrix::gather_block`]
+    /// with a scalar tail, bit-identical to the per-row path (the lane
+    /// sums add the same weights in the same order as [`Self::dot_row`]).
     ///
     /// # Panics
     ///
     /// Panics when `out.len() != rows.len()`.
     pub fn dot_rows_into(&self, rows: &[u32], weights: &[f64], out: &mut [f64]) {
+        self.dot_rows_into_on(simd::backend(), rows, weights, out)
+    }
+
+    /// [`Self::dot_rows_into`] on an explicit [`Backend`].
+    pub fn dot_rows_into_on(
+        &self,
+        backend: Backend,
+        rows: &[u32],
+        weights: &[f64],
+        out: &mut [f64],
+    ) {
         assert_eq!(out.len(), rows.len(), "output must match the row count");
-        for (o, &r) in out.iter_mut().zip(rows) {
-            *o = self.dot_row(r as usize, weights);
+        match backend {
+            Backend::Simd => {
+                let mut blocks = rows.chunks_exact(BLOCK_ROWS);
+                let mut outs = out.chunks_exact_mut(BLOCK_ROWS);
+                for (block, ob) in (&mut blocks).zip(&mut outs) {
+                    let mut acc = [0.0; BLOCK_ROWS];
+                    self.dot_block(block, weights, &mut acc);
+                    ob.copy_from_slice(&acc);
+                }
+                for (o, &r) in outs.into_remainder().iter_mut().zip(blocks.remainder()) {
+                    *o = self.dot_row(r as usize, weights);
+                }
+            }
+            Backend::Scalar => {
+                for (o, &r) in out.iter_mut().zip(rows) {
+                    *o = self.dot_row(r as usize, weights);
+                }
+            }
+        }
+    }
+
+    /// `θᵀx` of a full [`BLOCK_ROWS`]-row block: `acc[k] += ` the dot of
+    /// row `rows[k]`, all eight rows advanced one active column per
+    /// outer step. Eight independent accumulator chains give the CPU
+    /// cross-row ILP without staging the weights through a scratch
+    /// buffer; each row's additions happen in the same ascending-`j`
+    /// order as [`Self::dot_row`]'s sequential fold, so the result is
+    /// bit-identical to eight scalar dots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows.len() != BLOCK_ROWS` or
+    /// `weights.len() != n_cols`.
+    pub fn dot_block(&self, rows: &[u32], weights: &[f64], acc: &mut [f64; BLOCK_ROWS]) {
+        let nnz = self.nnz_per_row;
+        assert_eq!(rows.len(), BLOCK_ROWS, "dot_block needs a full block");
+        assert_eq!(weights.len(), self.n_cols, "weight vector shape");
+        let mut base = [0usize; BLOCK_ROWS];
+        for (b, &r) in base.iter_mut().zip(rows) {
+            *b = r as usize * nnz;
+            assert!(*b + nnz <= self.indices.len(), "row in range");
+        }
+        for j in 0..nnz {
+            for k in 0..BLOCK_ROWS {
+                // SAFETY: base[k] + j < base[k] + nnz <= indices.len()
+                // (asserted above), and the constructor rejected any
+                // index >= n_cols == weights.len().
+                unsafe {
+                    let c = *self.indices.get_unchecked(base[k] + j);
+                    acc[k] += *weights.get_unchecked(c as usize);
+                }
+            }
+        }
+    }
+
+    /// Gather the touched weights of a [`BLOCK_ROWS`]-row block into
+    /// structure-of-arrays lanes: `lanes[j * BLOCK_ROWS + k]` holds the
+    /// weight of row `rows[k]`'s `j`-th active column, so
+    /// [`simd::accumulate_lanes`] can sum all eight rows with vector adds
+    /// while preserving each row's sequential `j`-order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows.len() != BLOCK_ROWS`,
+    /// `lanes.len() != nnz_per_row * BLOCK_ROWS`, or
+    /// `weights.len() != n_cols`.
+    pub fn gather_block(&self, rows: &[u32], weights: &[f64], lanes: &mut [f64]) {
+        let nnz = self.nnz_per_row;
+        assert_eq!(rows.len(), BLOCK_ROWS, "gather_block needs a full block");
+        assert_eq!(lanes.len(), nnz * BLOCK_ROWS, "lane buffer shape");
+        assert_eq!(weights.len(), self.n_cols, "weight vector shape");
+        for (k, &r) in rows.iter().enumerate() {
+            let idx = self.row(r as usize);
+            for (j, &c) in idx.iter().enumerate() {
+                // SAFETY: the constructor rejected any index >= n_cols and
+                // the asserts above pin weights.len() == n_cols and
+                // lanes.len() == nnz * BLOCK_ROWS with j < nnz, k < BLOCK_ROWS.
+                unsafe {
+                    *lanes.get_unchecked_mut(j * BLOCK_ROWS + k) =
+                        *weights.get_unchecked(c as usize);
+                }
+            }
         }
     }
 
@@ -174,6 +274,49 @@ mod tests {
         let mut out = vec![0.0; 3];
         m.dot_rows_into(&rows, &w, &mut out);
         assert_eq!(out, vec![10100.0, 101.0, 1010.0]);
+    }
+
+    #[test]
+    fn blocked_and_scalar_dot_rows_are_bitwise_identical() {
+        // 19 rows: two full blocks plus an odd tail of 3.
+        let n_cols = 9;
+        let nnz = 3;
+        let indices: Vec<u32> = (0..19 * nnz)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9) % n_cols as u64) as u32)
+            .collect();
+        let m = MultiHotMatrix::new(indices, nnz, n_cols).unwrap();
+        let w: Vec<f64> = (0..n_cols).map(|i| (i as f64) * 0.73 - 2.1).collect();
+        let rows: Vec<u32> = (0..19u32).rev().collect();
+        let mut blocked = vec![0.0; 19];
+        let mut scalar = vec![0.0; 19];
+        m.dot_rows_into_on(Backend::Simd, &rows, &w, &mut blocked);
+        m.dot_rows_into_on(Backend::Scalar, &rows, &w, &mut scalar);
+        assert_eq!(blocked, scalar);
+    }
+
+    #[test]
+    fn gather_block_lays_out_lanes_column_major() {
+        // 8 rows, 2 active per row, over 4 columns.
+        let indices: Vec<u32> = (0..16).map(|i| (i % 4) as u32).collect();
+        let m = MultiHotMatrix::new(indices, 2, 4).unwrap();
+        let w = [10.0, 20.0, 30.0, 40.0];
+        let rows: Vec<u32> = (0..8).collect();
+        let mut lanes = vec![0.0; 16];
+        m.gather_block(&rows, &w, &mut lanes);
+        for (k, &r) in rows.iter().enumerate() {
+            let idx = m.row(r as usize);
+            for (j, &c) in idx.iter().enumerate() {
+                assert_eq!(lanes[j * BLOCK_ROWS + k], w[c as usize]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full block")]
+    fn gather_block_rejects_partial_blocks() {
+        let m = MultiHotMatrix::new(vec![0, 1, 2, 3], 1, 5).unwrap();
+        let mut lanes = vec![0.0; BLOCK_ROWS];
+        m.gather_block(&[0, 1], &[0.0; 5], &mut lanes);
     }
 
     #[test]

@@ -224,11 +224,11 @@ pub(crate) fn active_envs_checked(data: &EnvDataset) -> Vec<usize> {
     envs
 }
 
-/// In-place `θ ← θ − lr · g`.
+/// In-place `θ ← θ − lr · g`, through the vectorized lane loop
+/// (bit-identical to the scalar `*t -= lr * g` form: IEEE sign flips
+/// and `a + (−b)` vs `a − b` are exact).
 pub(crate) fn axpy_neg(theta: &mut [f64], lr: f64, grad: &[f64]) {
-    for (t, &g) in theta.iter_mut().zip(grad) {
-        *t -= lr * g;
-    }
+    crate::simd::axpy_neg(theta, lr, grad);
 }
 
 /// Standard deviation with the paper's `1/M` normalization (Eq. (7)).
