@@ -33,7 +33,7 @@ fn main() {
 
     let records = load(std::path::Path::new(&path));
     if records.is_empty() {
-        println!("trajectory gate: no records at {path}; nothing to compare");
+        println!("trajectory gate: no history yet at {path}; run the bench bins to start one");
         return;
     }
     println!(

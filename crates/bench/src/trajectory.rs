@@ -307,6 +307,23 @@ mod tests {
     }
 
     #[test]
+    fn empty_history_is_a_clean_no_op() {
+        // A fresh checkout has no trajectory file; an aborted bench run
+        // can leave an empty or whitespace-only one. All three must load
+        // as an empty history that produces no regressions.
+        assert!(check_regressions(&[], 5, 0.2).is_empty());
+        let dir = std::env::temp_dir().join("lightmirm-trajectory-empty-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("empty.jsonl");
+        std::fs::write(&path, "").expect("writes");
+        assert!(load(&path).is_empty());
+        std::fs::write(&path, "\n  \n").expect("writes");
+        let records = load(&path);
+        assert!(records.is_empty());
+        assert!(check_regressions(&records, 5, 0.2).is_empty());
+    }
+
+    #[test]
     fn first_run_and_disjoint_cohorts_cannot_regress() {
         let solo = [rec("hotpath", 4, &[("k_ns_per_row", 99.0)])];
         assert!(check_regressions(&solo, 5, 0.2).is_empty());

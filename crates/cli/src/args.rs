@@ -1,7 +1,13 @@
 //! Minimal dependency-free flag parsing: `--key value` pairs plus a
-//! leading subcommand.
+//! leading subcommand. A small closed set of flags ([`BOOLEAN_FLAGS`])
+//! is valueless: presence means `true`.
 
 use std::collections::BTreeMap;
+
+/// Flags that take no value — their presence alone means `true`.
+/// Keeping the set closed preserves the strict `--key value` grammar
+/// everywhere else (a typo like `--rows` with no value stays an error).
+const BOOLEAN_FLAGS: &[&str] = &["quick", "full"];
 
 /// A parsed command line: subcommand plus `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -59,8 +65,13 @@ impl ParsedArgs {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedToken(tok));
             };
+            if BOOLEAN_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let value = iter
                 .next()
+                .filter(|v| !v.starts_with("--"))
                 .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
             flags.insert(key.to_string(), value);
         }
@@ -82,6 +93,15 @@ impl ParsedArgs {
     /// An optional string flag.
     pub fn optional(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Whether a [`BOOLEAN_FLAGS`] switch was given.
+    pub fn switch(&self, flag: &str) -> bool {
+        debug_assert!(
+            BOOLEAN_FLAGS.contains(&flag),
+            "{flag} is not a boolean flag"
+        );
+        self.flags.contains_key(flag)
     }
 
     /// An optional parsed flag with a default.
@@ -150,6 +170,22 @@ mod tests {
             a.required("model").unwrap_err(),
             ArgError::MissingFlag("model")
         );
+    }
+
+    #[test]
+    fn boolean_switches_take_no_value() {
+        let a = ParsedArgs::parse(toks("stress-lab --full --out results/x")).unwrap();
+        assert!(a.switch("full"));
+        assert!(!a.switch("quick"));
+        assert_eq!(a.optional("out"), Some("results/x"));
+        // A trailing switch must not swallow a missing value error
+        // for ordinary flags.
+        assert_eq!(
+            ParsedArgs::parse(toks("stress-lab --out --quick")).unwrap_err(),
+            ArgError::MissingValue("--out".into())
+        );
+        let b = ParsedArgs::parse(toks("stress-lab --quick")).unwrap();
+        assert!(b.switch("quick"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl std::fmt::Display for CliError {
             CliError::Data(msg) => write!(f, "{msg}"),
             CliError::UnknownCommand(cmd) => write!(
                 f,
-                "unknown command {cmd:?}; expected generate | train | score | serve-replay | evaluate | audit | explain"
+                "unknown command {cmd:?}; expected generate | train | score | serve-replay | evaluate | audit | explain | stress-lab"
             ),
         }
     }
@@ -101,6 +101,7 @@ fn dispatch(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliEr
         "evaluate" => cmd_evaluate(args, out),
         "audit" => cmd_audit(args, out),
         "explain" => cmd_explain(args, out),
+        "stress-lab" => cmd_stress_lab(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -749,6 +750,66 @@ fn cmd_explain(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), Cl
     Ok(())
 }
 
+/// `stress-lab`: run the IRM stress-lab scenario grid from
+/// `lightmirm_experiments::stresslab` and write the per-trainer
+/// scorecard (`scorecard.json`) plus a human-readable verdict table.
+///
+/// Flags: `--quick` (default) or `--full` selects the grid;
+/// `--out DIR` overrides the output directory. The quick grid is the
+/// regression-gated one pinned at `results/stresslab/scorecard.json`.
+fn cmd_stress_lab(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use lightmirm_experiments::stresslab::{self, Grid};
+    if args.switch("quick") && args.switch("full") {
+        return Err(CliError::Data(
+            "choose one of --quick / --full, not both".into(),
+        ));
+    }
+    let grid = if args.switch("full") {
+        Grid::Full
+    } else {
+        Grid::Quick
+    };
+    let out_dir = args.get_or("out", "results/stresslab".to_string())?;
+    let card = stresslab::compute_scorecard(grid);
+    std::fs::create_dir_all(&out_dir)?;
+    let path = Path::new(&out_dir).join("scorecard.json");
+    let text = serde_json::to_string_pretty(&card)
+        .map_err(|e| CliError::Data(format!("serialize scorecard: {e}")))?;
+    std::fs::write(&path, text + "\n")?;
+    let n_scenarios = card["scenarios"].as_array().map_or(0, Vec::len);
+    writeln!(
+        out,
+        "stress-lab: {} grid, {} scenarios -> {}",
+        grid.name(),
+        n_scenarios,
+        path.display()
+    )?;
+    for t in card["trainers"]
+        .as_array()
+        .ok_or_else(|| CliError::Data("scorecard has no trainers".into()))?
+    {
+        let verdicts: String = t["cells"]
+            .as_array()
+            .map(|cells| {
+                cells
+                    .iter()
+                    .map(|c| if c["pass"] == true { 'P' } else { 'F' })
+                    .collect()
+            })
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "  {:<14} pass {}/{n_scenarios} [{verdicts}]  crossover_n {}",
+            t["name"].as_str().unwrap_or("?"),
+            t["n_pass"].as_u64().unwrap_or(0),
+            t["crossover"]["crossover_n"]
+                .as_u64()
+                .map_or("never".to_string(), |n| n.to_string()),
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -895,6 +956,38 @@ mod tests {
         let err =
             run_line(&format!("train --data {data} --out {model} --method magic")).unwrap_err();
         assert!(matches!(err, CliError::Data(_)));
+    }
+
+    #[test]
+    fn stress_lab_writes_a_conformant_scorecard() {
+        let out_dir = tmp("stresslab");
+        let msg = run_line(&format!("stress-lab --quick --out {out_dir}")).unwrap();
+        assert!(msg.contains("stress-lab: quick grid"), "{msg}");
+        assert!(msg.contains("LightMIRM"), "{msg}");
+        // The CLI must emit exactly the pinned scorecard: same grid,
+        // same deterministic numbers as the experiments bin.
+        let written: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(std::path::Path::new(&out_dir).join("scorecard.json"))
+                .unwrap(),
+        )
+        .unwrap();
+        let pinned: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../results/stresslab/scorecard.json"
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            written, pinned,
+            "CLI scorecard must match the pinned snapshot"
+        );
+        // Both grid switches at once is a user error.
+        assert!(matches!(
+            run_line(&format!("stress-lab --quick --full --out {out_dir}")),
+            Err(CliError::Data(_))
+        ));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! lightmirm evaluate --model model.json --data world.bin [--min-rows 50]
 //! lightmirm audit    --model model.json --baseline a.bin --current b.bin
 //! lightmirm explain  --model model.json --data world.bin --row N [--top 5]
+//! lightmirm stress-lab [--quick|--full] [--out results/stresslab]
 //! ```
 //!
 //! Data files use the `loansim` binary format, or CSV when the path ends
@@ -27,7 +28,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: lightmirm <generate|train|score|serve-replay|evaluate|audit|explain> --flag value ..."
+                "usage: lightmirm <generate|train|score|serve-replay|evaluate|audit|explain|stress-lab> --flag value ..."
             );
             std::process::exit(2);
         }

@@ -63,6 +63,7 @@ pub mod nonlinear;
 pub mod obs;
 pub mod online;
 pub mod pipeline;
+pub mod sem;
 pub mod simd;
 pub mod sparse;
 pub mod timing;
@@ -91,6 +92,7 @@ pub mod prelude {
         best_threshold, realized_profit, replay, OnlinePoint, OnlineReplay, ProfitModel,
     };
     pub use crate::pipeline::{FeatureExtractor, FeatureExtractorConfig, PipelineError};
+    pub use crate::sem::SemSpec;
     pub use crate::simd::{AlignedVec, Backend, ALIGNMENT, BLOCK_ROWS};
     pub use crate::sparse::MultiHotMatrix;
     pub use crate::timing::{Histogram, OpCounter, Step, StepTimer};

@@ -1,0 +1,375 @@
+//! Parameterized structural-equation-model (SEM) scenario families for
+//! the IRM stress-lab.
+//!
+//! This module promotes the ad-hoc two-environment SEM that used to
+//! live inside `tests/irm_unit.rs` into a first-class, reusable
+//! generator. Every scenario is a [`SemSpec`]: a list of environments,
+//! each with its own row count, spurious correlation, and label base
+//! rate, sharing one invariant correlation. Sampling is driven by a
+//! splitmix64-style counter hash — no RNG state, no dependency on
+//! iteration order — so a spec is a pure value: the same spec always
+//! produces the same [`EnvDataset`], bit for bit, on any thread count.
+//!
+//! The generative model, discretized to the crate's multi-hot encoding
+//! (columns 0/1 one-hot the invariant variable, 2/3 the spurious one):
+//!
+//! ```text
+//! y        ~ Bernoulli(π_m)                                (per env m)
+//! x_inv    = y        with probability (1 + ρ_inv) / 2     (all envs)
+//! x_spur   = y        with probability (1 + ρ_m) / 2       (per env m)
+//! ```
+//!
+//! Scenario families built from this spec:
+//!
+//! - **spurious sweeps** ([`SemSpec::flip`]): two environments whose
+//!   spurious correlation flips sign with asymmetric magnitude, so the
+//!   pooled correlation stays away from zero — the canonical IRM
+//!   temptation;
+//! - **label shift** ([`SemSpec::new`] with per-env `label_rates`):
+//!   the class prior moves across environments while the mechanism
+//!   `P(x | y)` stays fixed;
+//! - **many-environment long tails** ([`long_tail`]): a skewed
+//!   environment-size distribution where a few large environments
+//!   agree on the spurious sign and many small ones disagree, so the
+//!   pooled gradient is dominated by the head.
+//!
+//! Bit-stability contract: with `seed == 0` and a 0.5 label rate, the
+//! sampled stream is identical to the original `irm_unit.rs` helper
+//! (salts 1/2/3, label drawn as `pct % 2`). The invariance battery's
+//! verdicts are pinned against those exact draws; do not change the
+//! hash, the salt derivation, or the 0.5-rate label path without
+//! re-blessing the battery.
+
+use crate::env::EnvDataset;
+use crate::lr::LrModel;
+use crate::sparse::MultiHotMatrix;
+use crate::trainers::TrainedModel;
+
+/// Deterministic per-row percent draw in `0..100` (splitmix64-style
+/// hash). Reproducible without any RNG state: the draw depends only on
+/// `(counter, salt)`.
+pub fn pct(counter: u64, salt: u64) -> u64 {
+    let mut z = counter
+        .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z >> 33) % 100
+}
+
+/// A fully parameterized SEM scenario. See the module docs for the
+/// generative model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemSpec {
+    /// Rows drawn for each environment.
+    pub rows_per_env: Vec<usize>,
+    /// Correlation of the invariant feature with the label (all envs).
+    pub rho_inv: f64,
+    /// Per-environment correlation of the spurious feature.
+    pub rho_spur: Vec<f64>,
+    /// Per-environment label base rate `π_m = P(y = 1)`.
+    pub label_rates: Vec<f64>,
+    /// Stream seed. Seed 0 reproduces the legacy `irm_unit.rs` stream.
+    pub seed: u64,
+}
+
+impl SemSpec {
+    /// Full constructor; panics on malformed specs (mismatched lengths,
+    /// correlations outside `[-1, 1]`, rates outside `(0, 1)`).
+    pub fn new(
+        rows_per_env: Vec<usize>,
+        rho_inv: f64,
+        rho_spur: Vec<f64>,
+        label_rates: Vec<f64>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(rows_per_env.len(), rho_spur.len(), "one rho_spur per env");
+        assert_eq!(
+            rows_per_env.len(),
+            label_rates.len(),
+            "one label rate per env"
+        );
+        assert!(!rows_per_env.is_empty(), "at least one environment");
+        assert!((-1.0..=1.0).contains(&rho_inv), "rho_inv in [-1, 1]");
+        for &r in &rho_spur {
+            assert!((-1.0..=1.0).contains(&r), "rho_spur in [-1, 1]");
+        }
+        for &p in &label_rates {
+            assert!(p > 0.0 && p < 1.0, "label rate in (0, 1)");
+        }
+        Self {
+            rows_per_env,
+            rho_inv,
+            rho_spur,
+            label_rates,
+            seed,
+        }
+    }
+
+    /// The classic sign-flip family: balanced labels, seed 0 — the
+    /// exact spec the invariance battery has always pinned.
+    pub fn flip(rows_per_env: &[usize], rho_inv: f64, rho_spur: &[f64]) -> Self {
+        let rates = vec![0.5; rows_per_env.len()];
+        Self::new(rows_per_env.to_vec(), rho_inv, rho_spur.to_vec(), rates, 0)
+    }
+
+    /// Re-seed the stream (returns a new spec; specs are values).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total rows across all environments.
+    pub fn n_rows(&self) -> usize {
+        self.rows_per_env.iter().sum()
+    }
+
+    /// Environment-size-weighted mean spurious correlation — the pooled
+    /// signal a plain ERM fit sees.
+    pub fn pooled_rho_spur(&self) -> f64 {
+        let total: f64 = self.rows_per_env.iter().map(|&n| n as f64).sum();
+        self.rows_per_env
+            .iter()
+            .zip(&self.rho_spur)
+            .map(|(&n, &r)| n as f64 * r)
+            .sum::<f64>()
+            / total.max(1.0)
+    }
+
+    /// Salt for draw stream `k` (1 = label, 2 = invariant, 3 = spurious).
+    /// Seed 0 yields the raw salts 1/2/3 the legacy helper used; other
+    /// seeds shift every stream by a splitmix64 increment.
+    fn salt(&self, k: u64) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(k)
+    }
+
+    /// Sample the spec into an environment-partitioned dataset.
+    /// Deterministic: same spec, same bytes.
+    pub fn sample(&self) -> EnvDataset {
+        let p_inv = (50.0 * (1.0 + self.rho_inv)) as u64;
+        let (s_y, s_inv, s_spur) = (self.salt(1), self.salt(2), self.salt(3));
+        let mut idx = Vec::with_capacity(2 * self.n_rows());
+        let mut labels = Vec::with_capacity(self.n_rows());
+        let mut envs = Vec::with_capacity(self.n_rows());
+        let mut counter = 0u64;
+        for (m, &n) in self.rows_per_env.iter().enumerate() {
+            let p_spur = (50.0 * (1.0 + self.rho_spur[m])) as u64;
+            let rate = self.label_rates[m];
+            let p_y = (100.0 * rate).round() as u64;
+            for _ in 0..n {
+                counter += 1;
+                // The 0.5-rate label path MUST stay `pct % 2`: that is
+                // the stream the legacy battery pinned its verdicts on.
+                let y = if rate == 0.5 {
+                    (pct(counter, s_y) % 2) as u8
+                } else {
+                    u8::from(pct(counter, s_y) < p_y)
+                };
+                let x_inv = if pct(counter, s_inv) < p_inv {
+                    y
+                } else {
+                    1 - y
+                };
+                let x_spur = if pct(counter, s_spur) < p_spur {
+                    y
+                } else {
+                    1 - y
+                };
+                idx.push(if x_inv == 1 { 0u32 } else { 1 });
+                idx.push(if x_spur == 1 { 2u32 } else { 3 });
+                labels.push(y);
+                envs.push(m as u16);
+            }
+        }
+        let x = MultiHotMatrix::new(idx, 2, 4).unwrap();
+        let names = (0..self.rows_per_env.len())
+            .map(|m| format!("env{m}"))
+            .collect();
+        EnvDataset::new(x, labels, envs, names).unwrap()
+    }
+}
+
+/// The canonical battery instance: spurious correlation flips from
+/// +0.9 to −0.2 across two equal environments (pooled mean ≈ +0.35).
+/// The asymmetric magnitudes matter: a symmetric ±ρ flip is already
+/// cancelled by env-balanced gradient averaging, so only an asymmetric
+/// flip isolates the invariance penalty.
+pub fn canonical_battery() -> SemSpec {
+    SemSpec::flip(&[300, 300], 0.5, &[0.9, -0.2])
+}
+
+/// Many-environment long tail: two large environments agree on a
+/// strong positive spurious correlation, four small ones reverse it.
+/// The pooled mean (≈ +0.46) is dominated by the head, so ERM latches;
+/// the skewed tail carries the sign disagreement an invariance penalty
+/// needs, spread across environments an order of magnitude smaller than
+/// the head.
+pub fn long_tail(seed: u64) -> SemSpec {
+    SemSpec::new(
+        vec![400, 200, 100, 80, 50, 30],
+        0.5,
+        vec![0.9, 0.7, -0.4, -0.3, -0.5, -0.4],
+        vec![0.5; 6],
+        seed,
+    )
+}
+
+/// How much a model leans on the spurious feature relative to the
+/// invariant one: `|w2 − w3| / |w0 − w1|`. Zero means full invariance.
+pub fn spurious_ratio(model: &LrModel) -> f64 {
+    let inv = (model.weights[0] - model.weights[1]).abs();
+    let spur = (model.weights[2] - model.weights[3]).abs();
+    spur / inv.max(1e-9)
+}
+
+/// Mean binary log-loss (nats) of a trained model over a whole dataset.
+/// At `rho_inv = 0.5` the invariant-only optimum is the Bernoulli(0.75)
+/// entropy ≈ 0.562 nats.
+pub fn log_loss(model: &TrainedModel, data: &EnvDataset) -> f64 {
+    let rows: Vec<u32> = (0..data.n_rows() as u32).collect();
+    let scores = model.predict_rows(&data.x, &rows, &data.env_ids);
+    scores
+        .iter()
+        .zip(&data.labels)
+        .map(|(p, &y)| {
+            let p = p.clamp(1e-12, 1.0 - 1e-12);
+            if y == 1 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum::<f64>()
+        / rows.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The original `irm_unit.rs` generator, kept verbatim as the
+    /// bit-stability oracle for the seed-0 / 0.5-rate path.
+    fn legacy_sem(rows_per_env: &[usize], rho_inv: f64, rho_spur: &[f64]) -> EnvDataset {
+        let p_inv = (50.0 * (1.0 + rho_inv)) as u64;
+        let mut idx = Vec::new();
+        let mut labels = Vec::new();
+        let mut envs = Vec::new();
+        let mut counter = 0u64;
+        for (m, &n) in rows_per_env.iter().enumerate() {
+            let p_spur = (50.0 * (1.0 + rho_spur[m])) as u64;
+            for _ in 0..n {
+                counter += 1;
+                let y = (pct(counter, 1) % 2) as u8;
+                let x_inv = if pct(counter, 2) < p_inv { y } else { 1 - y };
+                let x_spur = if pct(counter, 3) < p_spur { y } else { 1 - y };
+                idx.push(if x_inv == 1 { 0u32 } else { 1 });
+                idx.push(if x_spur == 1 { 2u32 } else { 3 });
+                labels.push(y);
+                envs.push(m as u16);
+            }
+        }
+        let x = MultiHotMatrix::new(idx, 2, 4).unwrap();
+        let names = (0..rows_per_env.len()).map(|m| format!("env{m}")).collect();
+        EnvDataset::new(x, labels, envs, names).unwrap()
+    }
+
+    #[test]
+    fn seed_zero_reproduces_the_legacy_battery_stream() {
+        for (sizes, rhos) in [
+            (vec![300usize, 300], vec![0.9, -0.2]),
+            (vec![600], vec![-0.9]),
+            (vec![400, 300], vec![0.9, -0.2]),
+        ] {
+            let new = SemSpec::flip(&sizes, 0.5, &rhos).sample();
+            let old = legacy_sem(&sizes, 0.5, &rhos);
+            assert_eq!(new.labels, old.labels, "labels diverged for {sizes:?}");
+            assert_eq!(new.env_ids, old.env_ids, "env ids diverged for {sizes:?}");
+            assert_eq!(
+                new.x.indices(),
+                old.x.indices(),
+                "feature stream diverged for {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let spec = canonical_battery().with_seed(7);
+        let a = spec.sample();
+        let b = spec.sample();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.x.indices(), b.x.indices());
+        let c = canonical_battery().with_seed(8).sample();
+        assert_ne!(a.labels, c.labels, "different seeds must shift the stream");
+    }
+
+    #[test]
+    fn label_shift_hits_the_target_base_rates() {
+        let spec = SemSpec::new(vec![4000, 4000], 0.5, vec![0.9, -0.2], vec![0.3, 0.7], 3);
+        let data = spec.sample();
+        for (m, &want) in spec.label_rates.iter().enumerate() {
+            let rows = data.env_rows(m);
+            let got = rows
+                .iter()
+                .map(|&r| data.labels[r as usize] as f64)
+                .sum::<f64>()
+                / rows.len() as f64;
+            assert!(
+                (got - want).abs() < 0.03,
+                "env {m}: empirical rate {got:.3} misses target {want:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_correlations_match_the_spec() {
+        // Empirical corr(x, y) for a binary symmetric channel with flip
+        // probability (1 − ρ)/2 is ρ itself; check both features.
+        let spec = SemSpec::flip(&[8000, 8000], 0.5, &[0.9, -0.2]);
+        let data = spec.sample();
+        for (m, &rho) in spec.rho_spur.iter().enumerate() {
+            let rows = data.env_rows(m);
+            let mut agree_inv = 0usize;
+            let mut agree_spur = 0usize;
+            for &r in rows {
+                let y = data.labels[r as usize];
+                let cols = data.x.row(r as usize);
+                let x_inv = u8::from(cols[0] == 0);
+                let x_spur = u8::from(cols[1] == 2);
+                agree_inv += usize::from(x_inv == y);
+                agree_spur += usize::from(x_spur == y);
+            }
+            let n = rows.len() as f64;
+            let rho_inv_hat = 2.0 * agree_inv as f64 / n - 1.0;
+            let rho_spur_hat = 2.0 * agree_spur as f64 / n - 1.0;
+            assert!(
+                (rho_inv_hat - spec.rho_inv).abs() < 0.04,
+                "env {m}: invariant corr {rho_inv_hat:.3} misses {:.3}",
+                spec.rho_inv
+            );
+            assert!(
+                (rho_spur_hat - rho).abs() < 0.04,
+                "env {m}: spurious corr {rho_spur_hat:.3} misses {rho:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_tail_pools_positive_while_the_tail_disagrees() {
+        let spec = long_tail(0);
+        assert!(
+            spec.pooled_rho_spur() > 0.4,
+            "head must dominate the pooled signal"
+        );
+        assert!(
+            spec.rho_spur.iter().any(|&r| r < 0.0),
+            "tail must reverse the spurious sign"
+        );
+        let data = spec.sample();
+        assert_eq!(data.n_envs(), 6);
+        let sizes = data.env_sizes();
+        assert!(sizes[0] > 10 * sizes[5], "sizes must be heavily skewed");
+    }
+}

@@ -92,6 +92,13 @@ impl MultiHotMatrix {
         self.nnz_per_row
     }
 
+    /// The full flat row-major index stream (row `i` owns the slice
+    /// `[i*nnz_per_row, (i+1)*nnz_per_row)`). Used by golden-style tests
+    /// to compare two matrices byte for byte.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
     /// Active column indices of one row.
     pub fn row(&self, row: usize) -> &[u32] {
         &self.indices[row * self.nnz_per_row..(row + 1) * self.nnz_per_row]

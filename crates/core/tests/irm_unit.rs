@@ -16,69 +16,25 @@
 //!   the invariance penalty — not the meta machinery — is what does the
 //!   work.
 //!
-//! The SEM, discretized to the crate's multi-hot encoding:
-//!
-//! ```text
-//! y        ~ Bernoulli(1/2)
-//! x_inv    = y        with probability (1 + ρ_inv) / 2     (both envs)
-//! x_spur   = y        with probability (1 + ρ_m) / 2       (per env m)
-//! ```
-//!
-//! with `ρ_inv = 0.5` everywhere and `ρ_m = [+0.9, −0.2]` over two
-//! equal-sized environments, so the spurious correlation flips sign but
-//! its environment-mean (≈ +0.35) stays positive. The asymmetric
-//! magnitudes matter: a symmetric `±ρ` flip is already cancelled by
-//! env-balanced gradient averaging (λ = 0 would look invariant for the
-//! wrong reason); here, only the meta-loss σ penalty can reject the
-//! spurious feature, which is exactly what the battery must isolate.
+//! The SEM itself lives in `lightmirm_core::sem` (shared with the
+//! stress-lab scorecard in `lightmirm-experiments`); see that module's
+//! docs for the generative model. All specs here use seed 0, which is
+//! bit-identical to the private helper this file used to carry — same
+//! draws, same verdicts.
 
 use lightmirm_core::prelude::*;
+use lightmirm_core::sem::{canonical_battery, log_loss, spurious_ratio, SemSpec};
 use lightmirm_core::trainers::TrainConfig;
 
-/// Deterministic per-row percent draw (splitmix-style hash), so the SEM
-/// is reproducible without an RNG dependency in the test.
-fn pct(counter: u64, salt: u64) -> u64 {
-    let mut z = counter
-        .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z ^= z >> 27;
-    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
-    (z >> 33) % 100
-}
-
-/// Sample the SEM. `rho_spur[m]` is the spurious feature's label
-/// correlation in environment `m`; the invariant feature holds
-/// `rho_inv` in every environment. Feature columns: 0/1 one-hot the
-/// invariant variable, 2/3 the spurious one.
-fn sem(rows_per_env: &[usize], rho_inv: f64, rho_spur: &[f64]) -> EnvDataset {
-    assert_eq!(rows_per_env.len(), rho_spur.len());
-    let p_inv = (50.0 * (1.0 + rho_inv)) as u64;
-    let mut idx = Vec::new();
-    let mut labels = Vec::new();
-    let mut envs = Vec::new();
-    let mut counter = 0u64;
-    for (m, &n) in rows_per_env.iter().enumerate() {
-        let p_spur = (50.0 * (1.0 + rho_spur[m])) as u64;
-        for _ in 0..n {
-            counter += 1;
-            let y = (pct(counter, 1) % 2) as u8;
-            let x_inv = if pct(counter, 2) < p_inv { y } else { 1 - y };
-            let x_spur = if pct(counter, 3) < p_spur { y } else { 1 - y };
-            idx.push(if x_inv == 1 { 0u32 } else { 1 });
-            idx.push(if x_spur == 1 { 2u32 } else { 3 });
-            labels.push(y);
-            envs.push(m as u16);
-        }
-    }
-    let x = MultiHotMatrix::new(idx, 2, 4).unwrap();
-    let names = (0..rows_per_env.len()).map(|m| format!("env{m}")).collect();
-    EnvDataset::new(x, labels, envs, names).unwrap()
-}
-
 /// The canonical battery instance: the spurious correlation flips from
-/// +0.9 to −0.2 across two equal environments (env-mean ≈ +0.35).
+/// +0.9 to −0.2 across two equal environments (env-mean ≈ +0.35). The
+/// asymmetric magnitudes matter: a symmetric `±ρ` flip is already
+/// cancelled by env-balanced gradient averaging (λ = 0 would look
+/// invariant for the wrong reason); here, only the meta-loss σ penalty
+/// can reject the spurious feature, which is exactly what the battery
+/// must isolate.
 fn sem_battery() -> EnvDataset {
-    sem(&[300, 300], 0.5, &[0.9, -0.2])
+    canonical_battery().sample()
 }
 
 fn cfg(lambda: f64) -> TrainConfig {
@@ -91,14 +47,6 @@ fn cfg(lambda: f64) -> TrainConfig {
         momentum: 0.0,
         seed: 5,
     }
-}
-
-/// How much the model leans on the spurious feature relative to the
-/// invariant one: |w2 − w3| / |w0 − w1|. Zero means full invariance.
-fn spurious_ratio(model: &LrModel) -> f64 {
-    let inv = (model.weights[0] - model.weights[1]).abs();
-    let spur = (model.weights[2] - model.weights[3]).abs();
-    spur / inv.max(1e-9)
 }
 
 #[test]
@@ -179,26 +127,9 @@ fn invariance_transfers_to_an_unseen_flipped_environment() {
     // coarse here — both models' decisions follow the invariant feature's
     // sign — but the spurious weight corrupts ERM's *probabilities*, so
     // log-loss separates them.
-    let test = sem(&[600], 0.5, &[-0.9]);
-    let rows: Vec<u32> = (0..600).collect();
-    let log_loss = |model: &TrainedModel| -> f64 {
-        let scores = model.predict_rows(&test.x, &rows, &test.env_ids);
-        scores
-            .iter()
-            .zip(&test.labels)
-            .map(|(p, &y)| {
-                let p = p.clamp(1e-12, 1.0 - 1e-12);
-                if y == 1 {
-                    -p.ln()
-                } else {
-                    -(1.0 - p).ln()
-                }
-            })
-            .sum::<f64>()
-            / rows.len() as f64
-    };
-    let ll_erm = log_loss(&erm.model);
-    let ll_light = log_loss(&light.model);
+    let test = SemSpec::flip(&[600], 0.5, &[-0.9]).sample();
+    let ll_erm = log_loss(&erm.model, &test);
+    let ll_light = log_loss(&light.model, &test);
     assert!(
         ll_light < ll_erm,
         "LightMIRM log-loss ({ll_light:.3}) should beat ERM's ({ll_erm:.3}) on the flipped environment"
@@ -216,7 +147,7 @@ fn battery_is_robust_across_sem_resamples() {
     // Shift the hash salt stream by regenerating with different sizes:
     // the qualitative ordering must not hinge on one lucky draw.
     for sizes in [[200usize, 200], [500, 500], [400, 300]] {
-        let data = sem(&sizes, 0.5, &[0.9, -0.2]);
+        let data = SemSpec::flip(&sizes, 0.5, &[0.9, -0.2]).sample();
         let erm = ErmTrainer::new(cfg(0.5)).fit(&data, None);
         let light = LightMirmTrainer::new(cfg(0.5)).fit(&data, None);
         let r_erm = spurious_ratio(erm.model.global());

@@ -1,0 +1,62 @@
+//! Run the IRM stress-lab and (re)generate the pinned scorecard
+//! (`results/stresslab/scorecard.json`).
+//!
+//! Flags: `--quick` (default) or `--full` selects the scenario grid;
+//! `--out DIR` overrides the output directory. The quick grid is the
+//! one the tier-1 gate (`tests/stresslab_gate.rs`) pins — regenerate it
+//! only for an *intentional* change, and say why in the commit message
+//! (policy in EXPERIMENTS.md).
+
+use lightmirm_experiments::stresslab::{self, Grid};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grid = Grid::Quick;
+    let mut out_dir = "results/stresslab".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => grid = Grid::Quick,
+            "--full" => grid = Grid::Full,
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: stresslab [--quick|--full] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let card = stresslab::compute_scorecard(grid);
+    std::fs::create_dir_all(&out_dir).expect("create stresslab dir");
+    let path = std::path::Path::new(&out_dir).join("scorecard.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&card).expect("serialize") + "\n",
+    )
+    .expect("write scorecard");
+    println!("[written] {} ({} grid)", path.display(), grid.name());
+
+    let n_scenarios = card["scenarios"].as_array().map_or(0, Vec::len);
+    for t in card["trainers"].as_array().expect("trainers array") {
+        let cells = t["cells"].as_array().expect("cells");
+        let verdicts: String = cells
+            .iter()
+            .map(|c| if c["pass"] == true { 'P' } else { 'F' })
+            .collect();
+        println!(
+            "  {:<14} pass {}/{n_scenarios} [{verdicts}]  crossover_n {}",
+            t["name"].as_str().unwrap_or("?"),
+            t["n_pass"].as_u64().unwrap_or(0),
+            t["crossover"]["crossover_n"]
+                .as_u64()
+                .map_or("never".to_string(), |n| n.to_string()),
+        );
+    }
+}

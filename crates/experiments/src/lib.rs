@@ -16,6 +16,7 @@ use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCata
 pub mod golden;
 pub mod reference;
 pub mod runs;
+pub mod stresslab;
 
 /// Experiment-wide configuration, parsed from CLI flags.
 #[derive(Debug, Clone)]

@@ -1,0 +1,164 @@
+//! Tier-1 regression gate for the IRM stress-lab scorecard.
+//!
+//! Recomputes the quick-grid scorecard and compares it against the
+//! pinned snapshot (`results/stresslab/scorecard.json`) at the golden
+//! tolerance — every SEM draw, trainer update, and metric is
+//! deterministic, so any drift is a real numeric change and any verdict
+//! flip is a regression in an invariance claim. Also proves the gate
+//! actually bites: a deliberately weakened LightMIRM (λ = 0) must flip
+//! previously-passing scenarios to fail and trip the comparator.
+//!
+//! Regenerate the snapshot after an *intentional* change with
+//! `cargo run --release -p lightmirm-experiments --bin stresslab -- --quick`
+//! (policy in EXPERIMENTS.md).
+
+use std::sync::OnceLock;
+
+use lightmirm_experiments::stresslab::{
+    compare_scorecard, compute_scorecard, compute_scorecard_with, default_trainers, Grid,
+};
+use serde_json::Value;
+
+fn pinned() -> Value {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/stresslab/scorecard.json"
+    );
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("pinned scorecard missing at {path}: {e}"));
+    serde_json::from_str(&text).expect("pinned scorecard parses")
+}
+
+/// The quick grid recomputed once and shared by every test in this
+/// binary (the sweep trains 8 trainers × 6 scenarios + crossover).
+fn fresh() -> &'static Value {
+    static FRESH: OnceLock<Value> = OnceLock::new();
+    FRESH.get_or_init(|| compute_scorecard(Grid::Quick))
+}
+
+#[test]
+fn quick_scorecard_matches_the_pinned_snapshot() {
+    let drift = compare_scorecard(&pinned(), fresh());
+    assert!(
+        drift.is_empty(),
+        "stress-lab scorecard drifted from results/stresslab/scorecard.json \
+         ({} finding(s)):\n  {}\nIf the change is intentional, regenerate with \
+         `cargo run --release -p lightmirm-experiments --bin stresslab -- --quick` \
+         and commit the refreshed snapshot.",
+        drift.len(),
+        drift.join("\n  ")
+    );
+}
+
+#[test]
+fn light_mirm_passes_where_erm_fails() {
+    // The acceptance claim of the stress-lab, asserted directly on the
+    // pinned card: LightMIRM clears every spurious-sweep and long-tail
+    // scenario; plain ERM fails every one of them.
+    let card = pinned();
+    let scenarios: Vec<(String, String)> = card["scenarios"]
+        .as_array()
+        .expect("scenarios")
+        .iter()
+        .map(|s| {
+            (
+                s["id"].as_str().unwrap().to_string(),
+                s["family"].as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    let gated: Vec<&String> = scenarios
+        .iter()
+        .filter(|(_, fam)| fam == "spurious_sweep" || fam == "long_tail")
+        .map(|(id, _)| id)
+        .collect();
+    assert!(
+        gated.len() >= 4,
+        "expected ≥ 4 gated scenarios, got {gated:?}"
+    );
+    let verdict = |trainer: &str, scenario: &str| -> bool {
+        card["trainers"]
+            .as_array()
+            .expect("trainers")
+            .iter()
+            .find(|t| t["name"] == trainer)
+            .unwrap_or_else(|| panic!("{trainer} missing from scorecard"))["cells"]
+            .as_array()
+            .expect("cells")
+            .iter()
+            .find(|c| c["scenario"] == scenario)
+            .unwrap_or_else(|| panic!("{trainer} × {scenario} missing"))["pass"]
+            .as_bool()
+            .expect("pass flag")
+    };
+    for sid in gated {
+        assert!(verdict("LightMIRM", sid), "LightMIRM must pass {sid}");
+        assert!(
+            !verdict("ERM", sid),
+            "ERM must fail {sid} or the scenario proves nothing"
+        );
+    }
+}
+
+#[test]
+fn a_weakened_trainer_flips_the_gate_to_fail() {
+    // λ = 0 turns LightMIRM's invariance penalty off; its cells must
+    // regress and the comparator must say so loudly. Only the weakened
+    // trainer is recomputed; its entry is spliced into the pinned card
+    // so the comparison isolates the one trainer under test.
+    let mut weak = default_trainers();
+    let lm = weak
+        .iter_mut()
+        .find(|t| t.name == "LightMIRM")
+        .expect("LightMIRM in default trainers");
+    lm.lambda = 0.0;
+    let weak_lm = weak
+        .into_iter()
+        .filter(|t| t.name == "LightMIRM")
+        .collect::<Vec<_>>();
+    let weak_card = compute_scorecard_with(Grid::Quick, &weak_lm);
+    let weak_entry = weak_card["trainers"].as_array().expect("trainers")[0].clone();
+
+    let pinned_card = pinned();
+    let mut trainers = pinned_card["trainers"]
+        .as_array()
+        .expect("trainers")
+        .clone();
+    let idx = trainers
+        .iter()
+        .position(|t| t["name"] == "LightMIRM")
+        .expect("LightMIRM pinned");
+    trainers[idx] = weak_entry;
+    let mut root = pinned_card.as_object().expect("object").clone();
+    root.insert("trainers".into(), Value::Array(trainers));
+    let sabotaged = Value::Object(root);
+
+    let drift = compare_scorecard(&pinned_card, &sabotaged);
+    let regressions: Vec<&String> = drift
+        .iter()
+        .filter(|d| d.starts_with("REGRESSION LightMIRM"))
+        .collect();
+    assert!(
+        !regressions.is_empty(),
+        "weakening λ to 0 must trip the regression gate; drift was: {drift:?}"
+    );
+    // Specifically: previously-passing spurious-sweep cells now fail.
+    assert!(
+        regressions.iter().any(|d| d.contains("spur_strong")),
+        "expected a spur_strong regression, got {regressions:?}"
+    );
+}
+
+#[test]
+fn scorecard_roundtrips_through_json_bit_exactly() {
+    // The pinned file is the serialized form; the gate only works if
+    // serialization is lossless (float_roundtrip semantics).
+    let card = fresh();
+    let text = serde_json::to_string_pretty(card).expect("serialize");
+    let back: Value = serde_json::from_str(&text).expect("parse back");
+    assert_eq!(&back, card, "scorecard JSON round-trip must be lossless");
+    assert!(
+        compare_scorecard(card, &back).is_empty(),
+        "round-tripped scorecard must conform to itself"
+    );
+}

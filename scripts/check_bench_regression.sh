@@ -21,5 +21,13 @@ TRAJECTORY="${TRAJECTORY:-results/BENCH_trajectory.jsonl}"
 WINDOW="${WINDOW:-5}"
 TOLERANCE="${TOLERANCE:-0.2}"
 
+# A fresh checkout (or a CI job that never ran the bench bins) has no
+# trajectory yet. That is a clean no-op, not an error — say so and skip
+# the cargo build entirely.
+if [ ! -s "$TRAJECTORY" ]; then
+  echo "trajectory gate: no history yet at $TRAJECTORY; run the bench bins to start one"
+  exit 0
+fi
+
 cargo run --release -p lightmirm-bench --bin trajectory_gate -- \
   --trajectory "$TRAJECTORY" --window "$WINDOW" --tolerance "$TOLERANCE" "$@"
