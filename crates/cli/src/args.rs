@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 /// Flags that take no value — their presence alone means `true`.
 /// Keeping the set closed preserves the strict `--key value` grammar
 /// everywhere else (a typo like `--rows` with no value stays an error).
-const BOOLEAN_FLAGS: &[&str] = &["quick", "full"];
+const BOOLEAN_FLAGS: &[&str] = &["quick", "full", "adapt"];
 
 /// A parsed command line: subcommand plus `--key value` flags.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]

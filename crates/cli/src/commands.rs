@@ -9,8 +9,8 @@ use lightmirm_core::prelude::*;
 use lightmirm_core::trainers::TrainConfig;
 use lightmirm_metrics::{auc, ks, lift_table, psi};
 use lightmirm_serve::{
-    EngineConfig, EngineStats, MonitorConfig, Priority, ScoreError, ScoringEngine, SubmitError,
-    SubmitOptions,
+    AdaptConfig, EngineConfig, EngineStats, FeedConfig, LabelFeed, MonitorConfig, Priority,
+    PromotionController, ScoreError, ScoringEngine, SubmitError, SubmitOptions,
 };
 use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog, Schema};
 
@@ -439,6 +439,70 @@ fn score_through_engine(
     Ok(scores)
 }
 
+/// The `--adapt` serving loop: score the stream chunk by chunk, feed each
+/// answered chunk's now-observed labels into the [`LabelFeed`], and step
+/// the [`PromotionController`] after every chunk — so a Major drift
+/// escalation mid-stream can trigger a warm retrain, probe + canary
+/// validation, and hot promotion (or rollback) while the replay is still
+/// running. Unlike [`score_through_engine`], the stream cannot be fully
+/// pre-submitted: adaptation reacts to labels that only "arrive" once a
+/// chunk has been served.
+fn serve_adaptively(
+    args: &ParsedArgs,
+    engine: &ScoringEngine,
+    stream: &LoanFrame,
+    chunk: usize,
+    opts: SubmitOptions,
+) -> Result<(Vec<f64>, PromotionController), CliError> {
+    let d = AdaptConfig::default();
+    let cfg = AdaptConfig {
+        min_rows: args.get_or("adapt-min-rows", d.min_rows)?,
+        train: TrainConfig {
+            epochs: args.get_or("adapt-epochs", d.train.epochs)?,
+            seed: args.get_or("seed", d.train.seed)?,
+            ..d.train.clone()
+        },
+        guard_min_auc_gain: args.get_or("adapt-guard", d.guard_min_auc_gain)?,
+        cooldown_steps: args.get_or("adapt-cooldown", d.cooldown_steps)?,
+        save_path: args.optional("adapt-out").map(std::path::PathBuf::from),
+        ..d
+    };
+    let fd = FeedConfig::default();
+    let feed = LabelFeed::new(
+        engine.bundle().n_features(),
+        FeedConfig {
+            max_rows_per_env: args.get_or("feed-rows", fd.max_rows_per_env)?,
+            max_bytes: args.get_or("feed-bytes", fd.max_bytes)?,
+        },
+    );
+    let mut controller = PromotionController::new(engine.bundle(), cfg);
+    let step_every = args.get_or("adapt-every", 1usize)?.max(1);
+
+    let chunk = chunk.max(1).min(engine.config().queue_capacity);
+    let mut scores = Vec::with_capacity(stream.len());
+    let mut r = 0usize;
+    let mut chunks = 0usize;
+    while r < stream.len() {
+        let n = chunk.min(stream.len() - r);
+        let rows: Vec<usize> = (r..r + n).collect();
+        scores.extend(score_through_engine(
+            engine,
+            &stream.select(&rows),
+            chunk,
+            opts,
+        )?);
+        for k in r..r + n {
+            feed.push(stream.province[k], stream.row(k), stream.label[k]);
+        }
+        chunks += 1;
+        if chunks.is_multiple_of(step_every) {
+            controller.step(engine, &feed);
+        }
+        r += n;
+    }
+    Ok((scores, controller))
+}
+
 fn write_engine_summary(out: &mut dyn std::io::Write, stats: &EngineStats) -> std::io::Result<()> {
     writeln!(
         out,
@@ -494,6 +558,21 @@ fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
 /// the engine hot-reloads that bundle halfway through the stream after
 /// probe validation; a corrupt or invalid candidate is rejected and the
 /// incumbent keeps serving.
+///
+/// With `--adapt` the supervised adaptation loop runs alongside the
+/// replay: each served chunk's labels feed a bounded per-province
+/// [`LabelFeed`], and a [`PromotionController`] steps once per chunk —
+/// Major drift triggers a warm-started LightMIRM retrain of the LR head
+/// (leaf transform frozen), validated through the probe-batch reload
+/// path and an AUC canary guard before promotion, with automatic
+/// rollback to the pristine champion otherwise. Knobs:
+/// `--adapt-min-rows N` (labeled rows required before retraining),
+/// `--adapt-epochs E`, `--adapt-guard G` (minimum challenger AUC gain),
+/// `--adapt-cooldown S`, `--adapt-every K` (controller step cadence in
+/// chunks), `--feed-rows R` / `--feed-bytes B` (buffer caps),
+/// `--adapt-out path` (persist the promoted bundle + lineage), and
+/// `--adapt-log path` (transition event JSONL). Mutually exclusive with
+/// `--reload-model`.
 fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let bundle = load_bundle(args.required("model")?)?;
     let frame = load_frame(args.required("data")?)?;
@@ -518,42 +597,92 @@ fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(
 
     // The companion: the bundle served live through the engine.
     let (engine, opts) = engine_from_flags(args, bundle)?;
-    let companion = match args.optional("reload-model") {
-        None => score_through_engine(&engine, &stream, chunk, opts)?,
-        Some(reload_path) => {
-            // Serve the first half, hot-reload mid-stream, serve the rest.
-            let half = stream.len() / 2;
-            let first: Vec<usize> = (0..half).collect();
-            let rest: Vec<usize> = (half..stream.len()).collect();
-            let mut scores = score_through_engine(&engine, &stream.select(&first), chunk, opts)?;
-            let probe_features = stream.row(0).to_vec();
-            let probe_envs = vec![stream.province[0]];
-            match ModelBundle::load_from_path(Path::new(reload_path)) {
-                Ok(candidate) => match engine.reload(candidate, &probe_features, &probe_envs) {
-                    Ok(()) => writeln!(out, "hot-reloaded bundle from {reload_path}")?,
+    let mut adaptation: Option<PromotionController> = None;
+    let companion = if args.switch("adapt") {
+        if args.optional("reload-model").is_some() {
+            return Err(CliError::Data(
+                "--adapt and --reload-model are mutually exclusive".into(),
+            ));
+        }
+        let (scores, controller) = serve_adaptively(args, &engine, &stream, chunk, opts)?;
+        adaptation = Some(controller);
+        scores
+    } else {
+        match args.optional("reload-model") {
+            None => score_through_engine(&engine, &stream, chunk, opts)?,
+            Some(reload_path) => {
+                // Serve the first half, hot-reload mid-stream, serve the rest.
+                let half = stream.len() / 2;
+                let first: Vec<usize> = (0..half).collect();
+                let rest: Vec<usize> = (half..stream.len()).collect();
+                let mut scores =
+                    score_through_engine(&engine, &stream.select(&first), chunk, opts)?;
+                let probe_features = stream.row(0).to_vec();
+                let probe_envs = vec![stream.province[0]];
+                match ModelBundle::load_from_path(Path::new(reload_path)) {
+                    Ok(candidate) => match engine.reload(candidate, &probe_features, &probe_envs) {
+                        Ok(()) => writeln!(out, "hot-reloaded bundle from {reload_path}")?,
+                        Err(e) => writeln!(
+                            out,
+                            "reload of {reload_path} rejected ({e}); incumbent keeps serving"
+                        )?,
+                    },
                     Err(e) => writeln!(
                         out,
-                        "reload of {reload_path} rejected ({e}); incumbent keeps serving"
+                        "reload of {reload_path} refused ({e}); incumbent keeps serving"
                     )?,
-                },
-                Err(e) => writeln!(
-                    out,
-                    "reload of {reload_path} refused ({e}); incumbent keeps serving"
-                )?,
+                }
+                scores.extend(score_through_engine(
+                    &engine,
+                    &stream.select(&rest),
+                    chunk,
+                    opts,
+                )?);
+                scores
             }
-            scores.extend(score_through_engine(
-                &engine,
-                &stream.select(&rest),
-                chunk,
-                opts,
-            )?);
-            scores
         }
     };
     // As in `score`: surface serve_* telemetry through `--metrics-out`.
     obs::registry().merge_snapshot(&engine.metrics_snapshot());
     write_drift_report(args, &engine, out)?;
     let stats = engine.shutdown();
+
+    // Adaptation summary: event log, human-readable line, JSON block.
+    let adapt_json = match &adaptation {
+        None => None,
+        Some(controller) => {
+            if let Some(path) = args.optional("adapt-log") {
+                controller.write_event_log(Path::new(path))?;
+                writeln!(
+                    out,
+                    "adaptation event log ({} events) at {path}",
+                    controller.events().len()
+                )?;
+            }
+            let count = |stage: &str| {
+                controller
+                    .events()
+                    .iter()
+                    .filter(|e| e.stage == stage)
+                    .count()
+            };
+            let (promotions, rollbacks) = (count("promote"), count("rollback"));
+            writeln!(
+                out,
+                "adaptation: {} steps, generation {}, {promotions} promotion(s), \
+                 {rollbacks} rollback(s)",
+                controller.steps(),
+                controller.generation()
+            )?;
+            Some(serde_json::json!({
+                "steps": controller.steps(),
+                "generation": controller.generation(),
+                "promotions": promotions,
+                "rollbacks": rollbacks,
+                "events": controller.events().len(),
+            }))
+        }
+    };
 
     let grid: Vec<f64> = (0..=grid_points)
         .map(|i| i as f64 / grid_points as f64)
@@ -567,16 +696,20 @@ fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(
     )
     .map_err(|e| CliError::Data(e.to_string()))?;
 
+    let mut report = serde_json::json!({
+        "rows": stream.len(),
+        "incumbent_threshold": incumbent_threshold,
+        "incumbent_bad_debt": replayed.incumbent_bad_debt,
+        "curve": replayed.curve,
+        "engine": &stats,
+    });
+    // Only present under `--adapt`, keeping the default report unchanged.
+    if let (Some(adapt), serde_json::Value::Object(map)) = (adapt_json, &mut report) {
+        map.insert("adapt".into(), adapt);
+    }
     std::fs::write(
         Path::new(out_path),
-        serde_json::to_string_pretty(&serde_json::json!({
-            "rows": stream.len(),
-            "incumbent_threshold": incumbent_threshold,
-            "incumbent_bad_debt": replayed.incumbent_bad_debt,
-            "curve": replayed.curve,
-            "engine": &stats,
-        }))
-        .expect("replay output serializes"),
+        serde_json::to_string_pretty(&report).expect("replay output serializes"),
     )?;
 
     writeln!(

@@ -1,0 +1,216 @@
+//! End-to-end CLI surface for the supervised adaptation loop:
+//! `serve-replay --adapt` turns the shifted province's Major drift into a
+//! warm retrain + promotion, writes the transition event log, embeds an
+//! `adapt` block in the replay JSON, and persists the adapted bundle
+//! (with its lineage record) through `--adapt-out`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use loansim::{generate, GeneratorConfig, LoanFrame};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lightmirm"))
+}
+
+fn tdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lightmirm-adapt-cli").join(name);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("spawn lightmirm");
+    assert!(
+        out.status.success(),
+        "lightmirm {:?} failed:\nstdout: {}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+/// Same controlled world as the drift CLI suite: the two best-sampled
+/// provinces replay their pre-2020 rows as the 2020 stream, one verbatim
+/// and one pushed +3.0 out of distribution.
+fn controlled_world(path: &Path) -> (u16, u16) {
+    let frame = generate(&GeneratorConfig::small(6_000, 17));
+    let mut counts: BTreeMap<u16, usize> = BTreeMap::new();
+    for r in 0..frame.len() {
+        if frame.year[r] < 2020 {
+            *counts.entry(frame.province[r]).or_default() += 1;
+        }
+    }
+    let mut by_count: Vec<(u16, usize)> = counts.into_iter().collect();
+    by_count.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let (stable_p, shifted_p) = (by_count[0].0, by_count[1].0);
+
+    let mut world = LoanFrame::with_width(frame.n_features());
+    for r in 0..frame.len() {
+        if frame.year[r] >= 2020 {
+            continue;
+        }
+        let (h, p, v, l) = (
+            frame.half[r],
+            frame.province[r],
+            frame.vehicle[r],
+            frame.label[r],
+        );
+        world
+            .push(frame.row(r), frame.year[r], h, p, v, l)
+            .expect("row fits");
+        if p == stable_p {
+            world
+                .push(frame.row(r), 2020, h, p, v, l)
+                .expect("row fits");
+        } else if p == shifted_p {
+            let shifted: Vec<f32> = frame.row(r).iter().map(|x| x + 3.0).collect();
+            world.push(&shifted, 2020, h, p, v, l).expect("row fits");
+        }
+    }
+    std::fs::write(path, world.to_bytes()).expect("world file");
+    (stable_p, shifted_p)
+}
+
+#[test]
+fn serve_replay_adapt_promotes_logs_and_persists_lineage() {
+    let dir = tdir("promote");
+    let world = dir.join("world.bin");
+    let model = dir.join("model.json").to_string_lossy().into_owned();
+    let replay = dir.join("replay.json");
+    let adapted = dir.join("adapted.json");
+    let log = dir.join("adapt.jsonl");
+    let (_stable_p, shifted_p) = controlled_world(&world);
+
+    run_ok(&[
+        "train",
+        "--data",
+        world.to_str().unwrap(),
+        "--out",
+        &model,
+        "--method",
+        "lightmirm",
+        "--trees",
+        "6",
+        "--epochs",
+        "8",
+    ]);
+
+    // Guard -1.0: any successfully retrained + probed challenger
+    // promotes, so the test asserts the machinery end to end without
+    // betting on the tiny retrain beating the champion's canary AUC.
+    let msg = run_ok(&[
+        "serve-replay",
+        "--model",
+        &model,
+        "--data",
+        world.to_str().unwrap(),
+        "--out",
+        replay.to_str().unwrap(),
+        "--chunk",
+        "7",
+        "--grid",
+        "5",
+        "--adapt",
+        "--adapt-min-rows",
+        "150",
+        "--adapt-epochs",
+        "4",
+        "--adapt-guard",
+        "-1.0",
+        "--adapt-cooldown",
+        "60",
+        "--adapt-out",
+        adapted.to_str().unwrap(),
+        "--adapt-log",
+        log.to_str().unwrap(),
+    ]);
+    assert!(msg.contains("adaptation:"), "{msg}");
+    assert!(msg.contains("adaptation event log"), "{msg}");
+
+    // The replay JSON gains an `adapt` block recording a promotion.
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&replay).expect("replay file"))
+            .expect("replay JSON");
+    let adapt = &report["adapt"];
+    assert!(adapt.as_object().is_some(), "no adapt block: {report}");
+    assert!(
+        adapt["generation"].as_u64().expect("generation") >= 1,
+        "no promotion happened: {adapt}"
+    );
+    assert_eq!(
+        adapt["promotions"].as_u64(),
+        adapt["generation"].as_u64(),
+        "{adapt}"
+    );
+
+    // The event log is JSONL and walks Observe → Retrain → Probe →
+    // Canary → Promote for the shifted province.
+    let log_text = std::fs::read_to_string(&log).expect("event log");
+    let stages: Vec<(String, Option<u64>)> = log_text
+        .lines()
+        .map(|l| {
+            let e: serde_json::Value = serde_json::from_str(l).expect("event line");
+            (
+                e["stage"].as_str().expect("stage").to_string(),
+                e["env"].as_u64(),
+            )
+        })
+        .collect();
+    for want in ["retrain", "probe", "canary", "promote"] {
+        assert!(
+            stages
+                .iter()
+                .any(|(s, env)| s == want && *env == Some(u64::from(shifted_p))),
+            "stage {want} for province {shifted_p} missing: {stages:?}"
+        );
+    }
+
+    // The adapted bundle was persisted through the CRC envelope with a
+    // lineage record pointing at its parent.
+    let bundle_text = std::fs::read_to_string(&adapted).expect("adapted bundle");
+    assert!(bundle_text.starts_with("LMIRM-BUNDLE v1"), "{bundle_text}");
+    assert!(bundle_text.contains("\"parent_crc32\""), "no lineage");
+    assert!(bundle_text.contains("\"trigger_psi\""), "no lineage");
+}
+
+#[test]
+fn serve_replay_rejects_adapt_with_reload_model() {
+    let dir = tdir("exclusive");
+    let world = dir.join("world.bin");
+    let model = dir.join("model.json").to_string_lossy().into_owned();
+    controlled_world(&world);
+    run_ok(&[
+        "train",
+        "--data",
+        world.to_str().unwrap(),
+        "--out",
+        &model,
+        "--method",
+        "erm",
+        "--trees",
+        "4",
+        "--epochs",
+        "3",
+    ]);
+    let out = bin()
+        .args([
+            "serve-replay",
+            "--model",
+            &model,
+            "--data",
+            world.to_str().unwrap(),
+            "--out",
+            dir.join("replay.json").to_str().unwrap(),
+            "--adapt",
+            "--reload-model",
+            &model,
+        ])
+        .output()
+        .expect("spawn lightmirm");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}

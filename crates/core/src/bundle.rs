@@ -239,6 +239,27 @@ impl DriftBaseline {
     }
 }
 
+/// Provenance of an online-adapted bundle: which champion it descends
+/// from, what drift triggered the retrain, and how much labeled data fed
+/// it. Carried inside the CRC envelope so lineage survives (and is
+/// integrity-checked with) the payload.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BundleLineage {
+    /// CRC-32 of the parent bundle's JSON payload
+    /// ([`ModelBundle::payload_crc32`]) — the adapted bundle's ancestry
+    /// pointer.
+    pub parent_crc32: u32,
+    /// Environment whose drift escalation triggered the retrain.
+    pub trigger_env: u16,
+    /// The PSI value that crossed the Major band.
+    pub trigger_psi: f64,
+    /// Labeled rows consumed by the warm-started retrain.
+    pub rows_used: u64,
+    /// Adaptation generation: the shipped champion is 0, each promoted
+    /// challenger increments.
+    pub generation: u32,
+}
+
 /// The deployable artifact: extractor + head + provenance.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct ModelBundle {
@@ -253,6 +274,10 @@ pub struct ModelBundle {
     /// legacy bundles (the field deserializes to `None` when absent) and
     /// on bundles built without baseline capture.
     pub baseline: Option<DriftBaseline>,
+    /// Adaptation lineage. `None` on train-time bundles and on legacy
+    /// bundles (absent field deserializes to `None`); `Some` on bundles
+    /// produced by the serve-side adaptation loop.
+    pub lineage: Option<BundleLineage>,
 }
 
 /// Errors from bundle persistence.
@@ -415,6 +440,7 @@ impl ModelBundle {
             model: StoredModel::from(model),
             metadata,
             baseline: None,
+            lineage: None,
         })
     }
 
@@ -423,6 +449,20 @@ impl ModelBundle {
     pub fn with_baseline(mut self, baseline: DriftBaseline) -> Self {
         self.baseline = Some(baseline);
         self
+    }
+
+    /// Attach an adaptation lineage record (builder style).
+    #[must_use]
+    pub fn with_lineage(mut self, lineage: BundleLineage) -> Self {
+        self.lineage = Some(lineage);
+        self
+    }
+
+    /// CRC-32 of this bundle's JSON payload — the same checksum the
+    /// on-disk envelope header carries, usable as a stable identity for
+    /// lineage records ([`BundleLineage::parent_crc32`]).
+    pub fn payload_crc32(&self) -> u32 {
+        crc32(self.to_json().as_bytes())
     }
 
     /// Serialize to JSON.
@@ -686,15 +726,20 @@ impl ModelBundle {
         Self::from_json(payload)
     }
 
-    /// Write the checksummed envelope atomically: the bytes go to a
-    /// `<path>.tmp` sibling first and are renamed into place only after
-    /// a complete write, so a crash mid-write never leaves a truncated
-    /// bundle at `path` — the incumbent file survives intact.
+    /// Write the checksummed envelope atomically and durably: the bytes
+    /// go to a `<path>.tmp` sibling first, the tmp file is fsynced, and
+    /// only then is it renamed into place — so a crash mid-write never
+    /// leaves a truncated bundle at `path` (the incumbent file survives
+    /// intact), and a power loss just after the rename cannot surface a
+    /// correctly-named file with unflushed contents. The parent
+    /// directory is fsynced after the rename so the directory entry
+    /// itself is durable.
     ///
     /// # Errors
     ///
     /// [`BundleError::Io`] on filesystem failure.
     pub fn save_to_path(&self, path: &Path) -> Result<(), BundleError> {
+        use std::io::Write;
         let data = self.to_envelope();
         let bytes = data.as_bytes();
         let mut tmp = path.as_os_str().to_owned();
@@ -706,14 +751,29 @@ impl ModelBundle {
             Some(failpoint::Fault::IoError) => bytes.len() / 2,
             _ => bytes.len(),
         };
-        std::fs::write(&tmp, &bytes[..cut])?;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes[..cut])?;
         if cut < bytes.len() {
             return Err(BundleError::Io(std::io::Error::other(
                 "injected partial write",
             )));
         }
+        // Flush file contents to stable storage *before* the rename:
+        // rename-then-sync can expose a durable name pointing at
+        // not-yet-durable bytes after a crash.
+        failpoint::io_point("bundle::fsync")?;
+        file.sync_all()?;
+        drop(file);
         failpoint::io_point("bundle::rename")?;
         std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable: fsync the parent directory so
+        // the new directory entry survives a crash.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        failpoint::io_point("bundle::dir_sync")?;
+        std::fs::File::open(parent)?.sync_all()?;
         Ok(())
     }
 
@@ -1053,6 +1113,37 @@ mod tests {
         let bundle = bundle.with_baseline(baseline.clone());
         let back = ModelBundle::from_envelope(&bundle.to_envelope()).expect("valid");
         assert_eq!(back.baseline.as_ref(), Some(&baseline));
+        assert_eq!(bundle, back);
+    }
+
+    #[test]
+    fn lineage_round_trips_through_envelope() {
+        let (bundle, _) = demo_bundle();
+        let parent_crc32 = bundle.payload_crc32();
+        let lineage = BundleLineage {
+            parent_crc32,
+            trigger_env: 7,
+            trigger_psi: 0.31,
+            rows_used: 4096,
+            generation: 2,
+        };
+        let adapted = bundle.clone().with_lineage(lineage.clone());
+        // Lineage changes the payload, and therefore the identity hash.
+        assert_ne!(adapted.payload_crc32(), parent_crc32);
+        let back = ModelBundle::from_envelope(&adapted.to_envelope()).expect("valid");
+        assert_eq!(back.lineage.as_ref(), Some(&lineage));
+        assert_eq!(adapted, back);
+    }
+
+    #[test]
+    fn legacy_bundle_without_lineage_field_loads_as_none() {
+        let (bundle, _) = demo_bundle();
+        let json = bundle.to_json();
+        // A pre-lineage bundle document has no such key at all.
+        let legacy = json.replace(",\"lineage\":null", "");
+        assert_ne!(json, legacy, "lineage field should serialize");
+        let back = ModelBundle::from_json(&legacy).expect("legacy bundle loads");
+        assert_eq!(back.lineage, None);
         assert_eq!(bundle, back);
     }
 

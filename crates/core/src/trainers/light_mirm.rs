@@ -69,14 +69,37 @@ impl LightMirmTrainer {
         }
     }
 
-    /// Train per Algorithm 2.
-    pub fn fit(&self, data: &EnvDataset, mut observer: Option<EpochObserver<'_>>) -> TrainOutput {
+    /// Train per Algorithm 2, starting from the zero head.
+    pub fn fit(&self, data: &EnvDataset, observer: Option<EpochObserver<'_>>) -> TrainOutput {
+        self.fit_warm(data, LrModel::zeros(data.n_cols()), observer)
+    }
+
+    /// Train per Algorithm 2 from an explicit initial head — the online
+    /// adaptation warm start: the serving layer seeds the retrain with
+    /// the champion's weights so few epochs over a small labeled buffer
+    /// suffice. `fit` is exactly `fit_warm` from the zero head, so the
+    /// two are bit-identical on that initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `init.weights.len() != data.n_cols()`.
+    pub fn fit_warm(
+        &self,
+        data: &EnvDataset,
+        init: LrModel,
+        mut observer: Option<EpochObserver<'_>>,
+    ) -> TrainOutput {
+        assert_eq!(
+            init.weights.len(),
+            data.n_cols(),
+            "warm-start head dimension must match the dataset"
+        );
         let mut timer = StepTimer::new();
         let mut ops = OpCounter::new();
         let envs = timer.time(Step::LoadData, || active_envs_checked(data));
         let n_cols = data.n_cols();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut model = LrModel::zeros(n_cols);
+        let mut model = init;
 
         // One MRQ per environment, zero-initialized (Algorithm 2 line 1).
         let mut queues: Vec<MetaReplayQueue> = envs
@@ -406,6 +429,37 @@ mod tests {
         let data = irm_toy(&[100]);
         let out = LightMirmTrainer::new(cfg(5)).fit(&data, None);
         assert!(out.model.global().weights.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn fit_warm_from_zeros_is_bit_identical_to_fit() {
+        let data = irm_toy(&[80, 80, 80]);
+        let cold = LightMirmTrainer::new(cfg(6)).fit(&data, None);
+        let warm =
+            LightMirmTrainer::new(cfg(6)).fit_warm(&data, LrModel::zeros(data.n_cols()), None);
+        assert_eq!(cold.model.global().weights, warm.model.global().weights);
+    }
+
+    #[test]
+    fn fit_warm_starts_from_the_given_head() {
+        let data = irm_toy(&[80, 80, 80]);
+        let init = LrModel {
+            weights: (0..data.n_cols()).map(|i| 0.25 * i as f64).collect(),
+        };
+        // Zero epochs: the warm start must come back untouched.
+        let out = LightMirmTrainer::new(cfg(0)).fit_warm(&data, init.clone(), None);
+        assert_eq!(out.model.global().weights, init.weights);
+        // And a different init must steer a short run elsewhere.
+        let warm = LightMirmTrainer::new(cfg(3)).fit_warm(&data, init, None);
+        let cold = LightMirmTrainer::new(cfg(3)).fit(&data, None);
+        assert_ne!(warm.model.global().weights, cold.model.global().weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start head dimension")]
+    fn fit_warm_rejects_dimension_mismatch() {
+        let data = irm_toy(&[40, 40]);
+        let _ = LightMirmTrainer::new(cfg(1)).fit_warm(&data, LrModel::zeros(3), None);
     }
 
     #[test]

@@ -166,20 +166,27 @@ fn missing_files_surface_io_errors() {
     ));
 }
 
+/// The failpoint registry is process-global; serialize the tests that
+/// program it so parallel test threads cannot cross their schedules.
+#[cfg(feature = "failpoints")]
+static FAILPOINT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// The crash-mid-write story, driven by failpoints: a save that dies
-/// partway (or at the rename) must leave the incumbent bundle intact
-/// and loadable — atomicity is the whole point of tmp + rename.
+/// partway (at the write, the data fsync, or the rename) must leave the
+/// incumbent bundle intact and loadable — atomicity is the whole point
+/// of tmp + fsync + rename.
 #[cfg(feature = "failpoints")]
 #[test]
 fn interrupted_saves_never_clobber_the_incumbent() {
     use lightmirm_core::failpoint::{self, FailMode, Fault};
 
+    let _serial = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     let (bundle, features, env_ids) = demo_bundle();
     let incumbent_scores = bundle.score_batch(&features, &env_ids);
     let path = Scratch::new("crash");
     bundle.save_to_path(&path.0).expect("incumbent saved");
 
-    for site in ["bundle::partial_write", "bundle::rename"] {
+    for site in ["bundle::partial_write", "bundle::fsync", "bundle::rename"] {
         failpoint::configure(11);
         failpoint::set(site, FailMode::Always(Fault::IoError));
         let err = bundle
@@ -205,4 +212,32 @@ fn interrupted_saves_never_clobber_the_incumbent() {
         Err(BundleError::Io(_))
     ));
     failpoint::clear();
+}
+
+/// The directory fsync runs *after* the rename: when it fails, the new
+/// bytes are already in place (and loadable), but the caller must still
+/// see the error — the rename's own durability is not yet guaranteed,
+/// and a promotion gated on `save_to_path` must not commit.
+#[cfg(feature = "failpoints")]
+#[test]
+fn dir_sync_failure_surfaces_even_though_the_rename_landed() {
+    use lightmirm_core::failpoint::{self, FailMode, Fault};
+
+    let _serial = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let (bundle, features, env_ids) = demo_bundle();
+    let path = Scratch::new("dirsync");
+
+    failpoint::configure(13);
+    failpoint::set("bundle::dir_sync", FailMode::Always(Fault::IoError));
+    let err = bundle
+        .save_to_path(&path.0)
+        .expect_err("dir-sync failure must surface");
+    assert!(matches!(err, BundleError::Io(_)), "{err}");
+    failpoint::clear();
+
+    let landed = ModelBundle::load_from_path(&path.0).expect("renamed bytes are readable");
+    assert_eq!(
+        landed.score_batch(&features, &env_ids),
+        bundle.score_batch(&features, &env_ids)
+    );
 }

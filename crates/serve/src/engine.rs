@@ -447,6 +447,12 @@ struct Shared {
     /// served bundle carries a baseline; swapped alongside the bundle on
     /// hot reload. Strictly observation-only.
     monitor: Mutex<Option<Arc<crate::monitor::DriftMonitor>>>,
+    /// Reload token: serializes whole [`ScoringEngine::reload`] calls
+    /// (probe + monitor rearm + bundle swap) so a probe never validates
+    /// a candidate while another caller swaps the served bundle
+    /// mid-probe — adaptation promotions and manual `--reload-model`
+    /// both funnel through it.
+    reload_gate: Mutex<()>,
 }
 
 impl Shared {
@@ -511,6 +517,7 @@ impl ScoringEngine {
             metrics: Mutex::new(Metrics::default()),
             respawned: Mutex::new(Vec::new()),
             monitor: Mutex::new(monitor),
+            reload_gate: Mutex::new(()),
         });
         let workers = (0..cfg.workers)
             .map(|i| spawn_worker(Arc::clone(&shared), i))
@@ -688,6 +695,11 @@ impl ScoringEngine {
     ///
     /// An empty probe validates dimensions only.
     ///
+    /// Concurrent callers serialize through a single reload token held
+    /// across probe *and* swap, so the bundle a probe validated is the
+    /// bundle state the swap replaces — a second reload can never slip a
+    /// different bundle in mid-probe.
+    ///
     /// # Errors
     ///
     /// See [`ReloadError`]; on error the swap did not happen.
@@ -697,6 +709,7 @@ impl ScoringEngine {
         probe_features: &[f32],
         probe_env_ids: &[u16],
     ) -> Result<(), ReloadError> {
+        let _token = lock(&self.shared.reload_gate);
         let reject = |e: ReloadError| {
             lock(&self.shared.metrics).reload_rejected += 1;
             Err(e)
@@ -716,6 +729,9 @@ impl ScoringEngine {
         }
         if !probe_env_ids.is_empty() {
             let scores = match catch_unwind(AssertUnwindSafe(|| {
+                // Failpoint: stall (Delay) to widen the probe window for
+                // race tests, or panic to model probe divergence.
+                failpoint::pause_or_panic("serve::reload_probe");
                 candidate.score_batch(probe_features, probe_env_ids)
             })) {
                 Ok(scores) => scores,

@@ -61,9 +61,25 @@
 //!   (`tests/monitor.rs`); hot reload rearms it against the incoming
 //!   bundle's baseline.
 
+//! - **Online adaptation** — [`adapt`] closes the drift loop: a
+//!   [`LabelFeed`] buffers recent labeled rows per province (watermarked,
+//!   byte-budgeted eviction), and a [`PromotionController`] turns a
+//!   Major drift escalation into a warm-started LightMIRM retrain of the
+//!   LR head (leaf transform frozen), validated through the probe-batch
+//!   reload path and a golden-metric canary guard before promotion —
+//!   with automatic bit-identical rollback to the pristine champion,
+//!   retry-with-backoff on failed retrains, cooldown against flapping,
+//!   and a lineage record persisted in the adapted bundle's CRC
+//!   envelope.
+
+pub mod adapt;
 mod engine;
 pub mod monitor;
 
+pub use adapt::{
+    AdaptConfig, AdaptEvent, AdaptOutcome, FeedConfig, FeedSnapshot, LabelFeed,
+    PromotionController, RollbackReason,
+};
 pub use engine::{
     EngineConfig, EngineStats, PendingScores, Priority, ReloadError, ScoreError, ScoredResponse,
     ScoringEngine, SubmitError, SubmitOptions,
