@@ -1,0 +1,191 @@
+//! Sharded serving load generator.
+//!
+//! Replays the deterministic traces from `lightmirm_serve::loadgen`
+//! (diurnal ramps, flash crowds, mixed priorities, per-shard skew)
+//! through a [`ShardedEngine`] and reports aggregate throughput plus the
+//! tail of the enqueue-to-reply latency distribution — the numbers
+//! behind DESIGN.md §5k. Each trace pattern appends its own
+//! commit-stamped cohort (`loadgen_<pattern>`) to the perf trajectory so
+//! the regression gate tracks every traffic shape independently; a
+//! flash-crowd slowdown cannot hide inside diurnal history.
+//!
+//! Usage: `cargo run --release -p lightmirm-bench --bin loadgen
+//! [-- --quick] [--shards N] [--out path.json] [--trajectory path.jsonl]`.
+//! `--quick` shrinks the traces for CI smoke runs; numbers from it are
+//! not meaningful, only the schema. The per-pattern score digest is
+//! printed so two runs of the same trace can be diffed for determinism
+//! from the logs alone.
+
+use lightmirm_core::bundle::{BundleMetadata, ModelBundle};
+use lightmirm_core::lr::LrModel;
+use lightmirm_core::trainers::TrainedModel;
+use lightmirm_serve::loadgen::{replay, synthesize_trace, TraceConfig, TracePattern};
+use lightmirm_serve::{EngineConfig, ShardConfig, ShardedEngine};
+use loansim::{generate, GeneratorConfig};
+use serde_json::json;
+use std::time::Duration;
+
+/// A bundle with a quickly-fit GBDT extractor and a synthetic LR head:
+/// replay cost is leaf transform + dot product, not training.
+fn synthetic_bundle(frame: &loansim::LoanFrame, trees: usize) -> ModelBundle {
+    let cfg = lightmirm_gbdt::GbdtConfig {
+        n_trees: trees,
+        ..Default::default()
+    };
+    let gbdt = lightmirm_gbdt::Gbdt::fit(
+        frame.feature_matrix(),
+        frame.n_features(),
+        &frame.label,
+        &cfg,
+    )
+    .expect("GBDT fits the synthetic frame");
+    let weights: Vec<f64> = (0..gbdt.total_leaves())
+        .map(|i| ((i % 17) as f64 - 8.0) * 0.03)
+        .collect();
+    ModelBundle::new(
+        gbdt,
+        &TrainedModel::Global(LrModel { weights }),
+        BundleMetadata {
+            trainer: "synthetic".into(),
+            seed: 0,
+            notes: "loadgen bench head".into(),
+        },
+    )
+    .expect("dimensions match by construction")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let shards: usize = arg_after("--shards")
+        .map(|s| s.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(4);
+    assert!(shards > 0, "--shards takes a positive integer");
+    let out_path = arg_after("--out").unwrap_or_else(|| "results/BENCH_loadgen.json".to_string());
+    let trajectory_path =
+        arg_after("--trajectory").unwrap_or_else(|| "results/BENCH_trajectory.jsonl".to_string());
+
+    let (rows, trees, events, submitters) = if quick {
+        (4_000, 16, 300, 2)
+    } else {
+        (20_000, 64, 4_000, 4)
+    };
+
+    let frame = generate(&GeneratorConfig::small(rows, 41));
+    let bundle = synthetic_bundle(&frame, trees);
+    let n_features = frame.n_features();
+    let envs = frame
+        .province
+        .iter()
+        .copied()
+        .max()
+        .map(|p| p as usize + 1)
+        .unwrap_or(1);
+    eprintln!(
+        "loadgen: {shards} shards, {trees} trees, {events} events/trace, \
+         {submitters} submitters, {n_features} features"
+    );
+
+    let mut runs = Vec::new();
+    for pattern in TracePattern::ALL {
+        let mut tc = TraceConfig::quick(pattern, n_features as u32, envs as u16);
+        tc.events = events;
+        let trace = synthesize_trace(&tc);
+        let trace_bytes = trace.len();
+
+        let engine = ShardedEngine::new(
+            &bundle,
+            &ShardConfig {
+                shards,
+                engine: EngineConfig {
+                    max_batch: 256,
+                    max_wait: Duration::from_micros(500),
+                    queue_capacity: 4096,
+                    ..EngineConfig::default()
+                },
+                ..ShardConfig::default()
+            },
+        );
+        let outcome = replay(&engine, trace, submitters).expect("synthesized trace decodes");
+        let tail = engine.merged_enqueue_to_reply();
+        let p99_us = tail.quantile(0.99) as f64 / 1_000.0;
+        let p999_us = tail.quantile(0.999) as f64 / 1_000.0;
+        let stats = engine.shutdown();
+        let shard_rows: Vec<u64> = stats.iter().map(|s| s.rows_scored).collect();
+        let rows_per_sec = outcome.rows_per_sec();
+        let digest = outcome.score_digest();
+
+        eprintln!(
+            "{:>14}: {:>9.0} rows/s, p99 {p99_us:>8.1}us, p99.9 {p999_us:>8.1}us, \
+             {} rows over {} events ({} sheds retried), digest {digest:016x}",
+            pattern.name(),
+            rows_per_sec,
+            outcome.rows,
+            outcome.events,
+            outcome.retried_sheds,
+        );
+
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let record = lightmirm_bench::trajectory::TrajectoryRecord::now(
+            &format!("loadgen_{}", pattern.name()),
+            quick,
+            threads,
+            vec![
+                ("aggregate_rows_per_sec".to_string(), rows_per_sec),
+                ("enqueue_to_reply_p99_us".to_string(), p99_us),
+                ("enqueue_to_reply_p999_us".to_string(), p999_us),
+            ],
+        );
+        record
+            .append(std::path::Path::new(&trajectory_path))
+            .expect("append trajectory");
+
+        runs.push(json!({
+            "pattern": pattern.name(),
+            "seed": tc.seed,
+            "events": outcome.events,
+            "rows": outcome.rows,
+            "trace_bytes": trace_bytes,
+            "retried_sheds": outcome.retried_sheds,
+            "secs": outcome.elapsed.as_secs_f64(),
+            "aggregate_rows_per_sec": rows_per_sec,
+            "enqueue_to_reply_p99_us": p99_us,
+            "enqueue_to_reply_p999_us": p999_us,
+            "score_digest": format!("{digest:016x}"),
+            "shard_rows_scored": shard_rows,
+        }));
+    }
+
+    let report = json!({
+        "bench": "loadgen",
+        "quick": quick,
+        "hardware": json!({
+            "logical_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            "kernel_backend": lightmirm_core::simd::backend().name(),
+        }),
+        "setup": json!({
+            "shards": shards,
+            "submitters": submitters,
+            "gbdt_trees": trees,
+            "events_per_trace": events,
+            "n_raw_features": n_features,
+            "envs": envs,
+            "leaf_features": bundle.extractor.total_leaves(),
+        }),
+        "runs": runs,
+    });
+
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("output directory");
+    }
+    std::fs::write(&out_path, text + "\n").expect("write report");
+    eprintln!("wrote {out_path}; appended loadgen_* cohorts to {trajectory_path}");
+}

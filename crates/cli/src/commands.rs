@@ -8,9 +8,13 @@ use lightmirm_core::obs;
 use lightmirm_core::prelude::*;
 use lightmirm_core::trainers::TrainConfig;
 use lightmirm_metrics::{auc, ks, lift_table, psi};
+use lightmirm_serve::loadgen::{
+    replay as replay_trace, synthesize_trace, TraceConfig, TracePattern,
+};
 use lightmirm_serve::{
     AdaptConfig, EngineConfig, EngineStats, FeedConfig, LabelFeed, MonitorConfig, Priority,
-    PromotionController, ScoreError, ScoringEngine, SubmitError, SubmitOptions,
+    PromotionController, ScoreError, ScoringEngine, ShardConfig, ShardedEngine, SubmitError,
+    SubmitOptions,
 };
 use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog, Schema};
 
@@ -270,13 +274,11 @@ fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
     Ok(())
 }
 
-/// Build an engine plus per-request submit options from the common
-/// `--batch` / `--workers` / `--deadline-ms` / `--shed-watermark` /
-/// `--max-attempts` / `--priority` flags.
-fn engine_from_flags(
-    args: &ParsedArgs,
-    bundle: ModelBundle,
-) -> Result<(ScoringEngine, SubmitOptions), CliError> {
+/// Parse the common engine flags (`--batch` / `--workers` /
+/// `--deadline-ms` / `--shed-watermark` / `--max-attempts` /
+/// `--priority`) into an [`EngineConfig`] plus per-request submit
+/// options, shared by the single-engine and sharded front ends.
+fn engine_config_from_flags(args: &ParsedArgs) -> Result<(EngineConfig, SubmitOptions), CliError> {
     let defaults = EngineConfig::default();
     let max_batch = args.get_or("batch", defaults.max_batch)?;
     let workers = args.get_or("workers", defaults.workers)?;
@@ -305,22 +307,48 @@ fn engine_from_flags(
         deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         priority,
     };
-    let engine = ScoringEngine::new(
+    let cfg = EngineConfig {
+        max_batch,
+        workers,
+        shed_watermark,
+        max_attempts,
+        queue_capacity: defaults.queue_capacity.max(max_batch),
+        // Arm the drift sentinel; it stays dormant for bundles
+        // without a train-time baseline. Observation-only, so
+        // scores are unaffected either way.
+        monitor: Some(MonitorConfig::default()),
+        ..defaults
+    };
+    Ok((cfg, opts))
+}
+
+/// Build an engine plus per-request submit options from the common
+/// engine flags.
+fn engine_from_flags(
+    args: &ParsedArgs,
+    bundle: ModelBundle,
+) -> Result<(ScoringEngine, SubmitOptions), CliError> {
+    let (cfg, opts) = engine_config_from_flags(args)?;
+    Ok((ScoringEngine::new(bundle, cfg), opts))
+}
+
+/// Build the sharded front end from the same engine flags plus
+/// `--shards N`.
+fn sharded_from_flags(
+    args: &ParsedArgs,
+    bundle: &ModelBundle,
+    shards: usize,
+) -> Result<(ShardedEngine, SubmitOptions), CliError> {
+    let (engine, opts) = engine_config_from_flags(args)?;
+    let sharded = ShardedEngine::new(
         bundle,
-        EngineConfig {
-            max_batch,
-            workers,
-            shed_watermark,
-            max_attempts,
-            queue_capacity: defaults.queue_capacity.max(max_batch),
-            // Arm the drift sentinel; it stays dormant for bundles
-            // without a train-time baseline. Observation-only, so
-            // scores are unaffected either way.
-            monitor: Some(MonitorConfig::default()),
-            ..defaults
+        &ShardConfig {
+            shards,
+            engine,
+            ..ShardConfig::default()
         },
     );
-    Ok((engine, opts))
+    Ok((sharded, opts))
 }
 
 /// Honor `--drift-out p.json`: force a final PSI check on every
@@ -447,13 +475,7 @@ fn score_through_engine(
 /// running. Unlike [`score_through_engine`], the stream cannot be fully
 /// pre-submitted: adaptation reacts to labels that only "arrive" once a
 /// chunk has been served.
-fn serve_adaptively(
-    args: &ParsedArgs,
-    engine: &ScoringEngine,
-    stream: &LoanFrame,
-    chunk: usize,
-    opts: SubmitOptions,
-) -> Result<(Vec<f64>, PromotionController), CliError> {
+fn parse_adapt_flags(args: &ParsedArgs) -> Result<(AdaptConfig, FeedConfig, usize), CliError> {
     let d = AdaptConfig::default();
     let cfg = AdaptConfig {
         min_rows: args.get_or("adapt-min-rows", d.min_rows)?,
@@ -468,15 +490,24 @@ fn serve_adaptively(
         ..d
     };
     let fd = FeedConfig::default();
-    let feed = LabelFeed::new(
-        engine.bundle().n_features(),
-        FeedConfig {
-            max_rows_per_env: args.get_or("feed-rows", fd.max_rows_per_env)?,
-            max_bytes: args.get_or("feed-bytes", fd.max_bytes)?,
-        },
-    );
-    let mut controller = PromotionController::new(engine.bundle(), cfg);
+    let feed_cfg = FeedConfig {
+        max_rows_per_env: args.get_or("feed-rows", fd.max_rows_per_env)?,
+        max_bytes: args.get_or("feed-bytes", fd.max_bytes)?,
+    };
     let step_every = args.get_or("adapt-every", 1usize)?.max(1);
+    Ok((cfg, feed_cfg, step_every))
+}
+
+fn serve_adaptively(
+    args: &ParsedArgs,
+    engine: &ScoringEngine,
+    stream: &LoanFrame,
+    chunk: usize,
+    opts: SubmitOptions,
+) -> Result<(Vec<f64>, PromotionController), CliError> {
+    let (cfg, feed_cfg, step_every) = parse_adapt_flags(args)?;
+    let feed = LabelFeed::new(engine.bundle().n_features(), feed_cfg);
+    let mut controller = PromotionController::new(engine.bundle(), cfg);
 
     let chunk = chunk.max(1).min(engine.config().queue_capacity);
     let mut scores = Vec::with_capacity(stream.len());
@@ -503,10 +534,193 @@ fn serve_adaptively(
     Ok((scores, controller))
 }
 
-fn write_engine_summary(out: &mut dyn std::io::Write, stats: &EngineStats) -> std::io::Result<()> {
+/// Route one chunk through the sharded front end by its first row's
+/// province, escalating a shed low-priority submit to Normal exactly
+/// like [`score_through_engine`]. Returns the shard that accepted the
+/// chunk alongside the pending scores.
+fn submit_chunk_sharded(
+    sharded: &ShardedEngine,
+    frame: &LoanFrame,
+    nf: usize,
+    r: usize,
+    n: usize,
+    opts: SubmitOptions,
+) -> Result<(usize, lightmirm_serve::PendingScores), CliError> {
+    let key = frame.province[r];
+    let (features, env_ids) = chunk_rows(frame, nf, r, n);
+    let submitted = match sharded.submit(key, features, env_ids, opts) {
+        Err(SubmitError::Shed) => {
+            let (features, env_ids) = chunk_rows(frame, nf, r, n);
+            let normal = SubmitOptions {
+                priority: Priority::Normal,
+                ..opts
+            };
+            sharded.submit(key, features, env_ids, normal)
+        }
+        other => other,
+    };
+    submitted.map_err(|e| CliError::Data(format!("submit of rows {r}..{}: {e}", r + n)))
+}
+
+/// [`score_through_engine`] over the sharded front end. Chunks are
+/// pre-submitted for pipelining and routed by their first row's
+/// province; since every shard serves the same bundle, the scores are
+/// bit-identical to the single-engine path for any shard count.
+fn score_through_sharded(
+    sharded: &ShardedEngine,
+    frame: &LoanFrame,
+    chunk: usize,
+    opts: SubmitOptions,
+) -> Result<Vec<f64>, CliError> {
+    let nf = sharded.shard(0).bundle().n_features();
+    let chunk = chunk.max(1).min(sharded.shard(0).config().queue_capacity);
+    let mut pending = Vec::with_capacity(frame.len().div_ceil(chunk));
+    let mut r = 0usize;
+    while r < frame.len() {
+        let n = chunk.min(frame.len() - r);
+        let (_, p) = submit_chunk_sharded(sharded, frame, nf, r, n, opts)?;
+        pending.push((r, n, p));
+        r += n;
+    }
+    let mut scores = Vec::with_capacity(frame.len());
+    for (start, n, p) in pending {
+        match p.wait() {
+            Ok(got) => scores.extend(got),
+            Err(ScoreError::DeadlineExceeded) => {
+                let patient = SubmitOptions {
+                    deadline: None,
+                    priority: Priority::Normal,
+                };
+                let (_, retry) = submit_chunk_sharded(sharded, frame, nf, start, n, patient)?;
+                let got = retry
+                    .wait()
+                    .map_err(|e| CliError::Data(format!("deadline retry of row {start}: {e}")))?;
+                scores.extend(got);
+            }
+            Err(e) => return Err(CliError::Data(format!("request at row {start}: {e}"))),
+        }
+    }
+    Ok(scores)
+}
+
+/// The `--adapt` loop over the sharded front end: every shard owns its
+/// own [`LabelFeed`] and [`PromotionController`], fed only by the
+/// chunks that shard actually served — a drift escalation on one
+/// shard's traffic retrains and promotes on that shard alone, leaving
+/// the other shards' champions untouched. With `--adapt-out p`, shard
+/// `i` persists its promoted bundle to `p.shard<i>`.
+fn serve_adaptively_sharded(
+    args: &ParsedArgs,
+    sharded: &ShardedEngine,
+    stream: &LoanFrame,
+    chunk: usize,
+    opts: SubmitOptions,
+) -> Result<(Vec<f64>, Vec<PromotionController>), CliError> {
+    let (cfg, feed_cfg, step_every) = parse_adapt_flags(args)?;
+    let nf = sharded.shard(0).bundle().n_features();
+    let n_shards = sharded.shards();
+    let feeds: Vec<LabelFeed> = (0..n_shards)
+        .map(|_| LabelFeed::new(nf, feed_cfg.clone()))
+        .collect();
+    let mut controllers: Vec<PromotionController> = (0..n_shards)
+        .map(|i| {
+            let cfg = AdaptConfig {
+                save_path: cfg
+                    .save_path
+                    .as_ref()
+                    .map(|p| p.with_extension(format!("shard{i}"))),
+                ..cfg.clone()
+            };
+            PromotionController::new(sharded.shard(i).bundle(), cfg)
+        })
+        .collect();
+
+    let chunk = chunk.max(1).min(sharded.shard(0).config().queue_capacity);
+    let mut scores = Vec::with_capacity(stream.len());
+    let mut r = 0usize;
+    let mut chunks = 0usize;
+    while r < stream.len() {
+        let n = chunk.min(stream.len() - r);
+        let (shard, p) = submit_chunk_sharded(sharded, stream, nf, r, n, opts)?;
+        let got = match p.wait() {
+            Ok(got) => got,
+            Err(ScoreError::DeadlineExceeded) => {
+                let patient = SubmitOptions {
+                    deadline: None,
+                    priority: Priority::Normal,
+                };
+                let (_, retry) = submit_chunk_sharded(sharded, stream, nf, r, n, patient)?;
+                retry
+                    .wait()
+                    .map_err(|e| CliError::Data(format!("deadline retry of row {r}: {e}")))?
+            }
+            Err(e) => return Err(CliError::Data(format!("request at row {r}: {e}"))),
+        };
+        scores.extend(got);
+        for k in r..r + n {
+            feeds[shard].push(stream.province[k], stream.row(k), stream.label[k]);
+        }
+        chunks += 1;
+        if chunks.is_multiple_of(step_every) {
+            controllers[shard].step(sharded.shard(shard), &feeds[shard]);
+        }
+        r += n;
+    }
+    Ok((scores, controllers))
+}
+
+/// Write one controller's adaptation summary (optional event log,
+/// human-readable line) and return its JSON block. `label` is empty for
+/// the single-engine loop and `" (shard i)"` per shard; the event log
+/// path gets a `.shard<i>` extension in sharded mode so logs don't
+/// clobber each other.
+fn adapt_summary(
+    controller: &PromotionController,
+    label: &str,
+    log_path: Option<&Path>,
+    out: &mut dyn std::io::Write,
+) -> Result<serde_json::Value, CliError> {
+    if let Some(path) = log_path {
+        controller.write_event_log(path)?;
+        writeln!(
+            out,
+            "adaptation event log ({} events) at {}",
+            controller.events().len(),
+            path.display()
+        )?;
+    }
+    let count = |stage: &str| {
+        controller
+            .events()
+            .iter()
+            .filter(|e| e.stage == stage)
+            .count()
+    };
+    let (promotions, rollbacks) = (count("promote"), count("rollback"));
     writeln!(
         out,
-        "engine: {} requests, mean batch {:.1} rows, latency p50 {:.1}us p99 {:.1}us \
+        "adaptation{label}: {} steps, generation {}, {promotions} promotion(s), \
+         {rollbacks} rollback(s)",
+        controller.steps(),
+        controller.generation()
+    )?;
+    Ok(serde_json::json!({
+        "steps": controller.steps(),
+        "generation": controller.generation(),
+        "promotions": promotions,
+        "rollbacks": rollbacks,
+        "events": controller.events().len(),
+    }))
+}
+
+fn write_engine_summary(
+    out: &mut dyn std::io::Write,
+    label: &str,
+    stats: &EngineStats,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{label}: {} requests, mean batch {:.1} rows, latency p50 {:.1}us p99 {:.1}us \
          (enqueue-to-reply p50 {:.1}us p99 {:.1}us, score p50 {:.1}us/batch)",
         stats.requests,
         stats.batch_rows_mean,
@@ -542,7 +756,7 @@ fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
     }
     std::fs::write(Path::new(out_path), text)?;
     writeln!(out, "scored {} rows into {out_path}", frame.len())?;
-    write_engine_summary(out, &stats)?;
+    write_engine_summary(out, "engine", &stats)?;
     Ok(())
 }
 
@@ -573,7 +787,19 @@ fn cmd_score(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliE
 /// `--adapt-out path` (persist the promoted bundle + lineage), and
 /// `--adapt-log path` (transition event JSONL). Mutually exclusive with
 /// `--reload-model`.
+///
+/// `--shards N` serves the stream through the sharded front end
+/// instead of one engine: chunks route by province, `--reload-model`
+/// pushes to every shard, and `--adapt` runs one controller per shard
+/// (see [`serve_adaptively_sharded`]). Scores stay bit-identical to the
+/// single-engine path. `--loadgen-trace PATTERN` switches to synthetic
+/// trace replay entirely (see [`cmd_loadgen_replay`]).
 fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    // `--loadgen-trace` switches to synthetic-trace replay: no `--data`
+    // stream, no Fig. 5 curve — throughput and tail latency instead.
+    if args.optional("loadgen-trace").is_some() {
+        return cmd_loadgen_replay(args, out);
+    }
     let bundle = load_bundle(args.required("model")?)?;
     let frame = load_frame(args.required("data")?)?;
     let out_path = args.required("out")?;
@@ -595,93 +821,146 @@ fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
     let incumbent_threshold = sorted[(sorted.len() as f64 * 0.70) as usize];
 
-    // The companion: the bundle served live through the engine.
-    let (engine, opts) = engine_from_flags(args, bundle)?;
-    let mut adaptation: Option<PromotionController> = None;
-    let companion = if args.switch("adapt") {
-        if args.optional("reload-model").is_some() {
-            return Err(CliError::Data(
-                "--adapt and --reload-model are mutually exclusive".into(),
-            ));
-        }
-        let (scores, controller) = serve_adaptively(args, &engine, &stream, chunk, opts)?;
-        adaptation = Some(controller);
-        scores
-    } else {
-        match args.optional("reload-model") {
-            None => score_through_engine(&engine, &stream, chunk, opts)?,
-            Some(reload_path) => {
-                // Serve the first half, hot-reload mid-stream, serve the rest.
-                let half = stream.len() / 2;
-                let first: Vec<usize> = (0..half).collect();
-                let rest: Vec<usize> = (half..stream.len()).collect();
-                let mut scores =
-                    score_through_engine(&engine, &stream.select(&first), chunk, opts)?;
-                let probe_features = stream.row(0).to_vec();
-                let probe_envs = vec![stream.province[0]];
-                match ModelBundle::load_from_path(Path::new(reload_path)) {
-                    Ok(candidate) => match engine.reload(candidate, &probe_features, &probe_envs) {
-                        Ok(()) => writeln!(out, "hot-reloaded bundle from {reload_path}")?,
+    let shards = args.get_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err(CliError::Data("--shards must be positive".into()));
+    }
+    if args.switch("adapt") && args.optional("reload-model").is_some() {
+        return Err(CliError::Data(
+            "--adapt and --reload-model are mutually exclusive".into(),
+        ));
+    }
+    let adapt_log = args.optional("adapt-log").map(Path::new);
+
+    // The companion: the bundle served live through the engine — one
+    // engine by default, or the sharded front end under `--shards N`
+    // (chunks routed by their first row's province; scores are
+    // bit-identical either way since every shard serves the same
+    // bundle).
+    let (companion, adapt_json, stats_list) = if shards == 1 {
+        let (engine, opts) = engine_from_flags(args, bundle)?;
+        let mut adaptation: Option<PromotionController> = None;
+        let companion = if args.switch("adapt") {
+            let (scores, controller) = serve_adaptively(args, &engine, &stream, chunk, opts)?;
+            adaptation = Some(controller);
+            scores
+        } else {
+            match args.optional("reload-model") {
+                None => score_through_engine(&engine, &stream, chunk, opts)?,
+                Some(reload_path) => {
+                    // Serve the first half, hot-reload mid-stream, serve the rest.
+                    let half = stream.len() / 2;
+                    let first: Vec<usize> = (0..half).collect();
+                    let rest: Vec<usize> = (half..stream.len()).collect();
+                    let mut scores =
+                        score_through_engine(&engine, &stream.select(&first), chunk, opts)?;
+                    let probe_features = stream.row(0).to_vec();
+                    let probe_envs = vec![stream.province[0]];
+                    match ModelBundle::load_from_path(Path::new(reload_path)) {
+                        Ok(candidate) => {
+                            match engine.reload(candidate, &probe_features, &probe_envs) {
+                                Ok(()) => writeln!(out, "hot-reloaded bundle from {reload_path}")?,
+                                Err(e) => writeln!(
+                                    out,
+                                    "reload of {reload_path} rejected ({e}); incumbent keeps serving"
+                                )?,
+                            }
+                        }
                         Err(e) => writeln!(
                             out,
-                            "reload of {reload_path} rejected ({e}); incumbent keeps serving"
+                            "reload of {reload_path} refused ({e}); incumbent keeps serving"
                         )?,
-                    },
-                    Err(e) => writeln!(
-                        out,
-                        "reload of {reload_path} refused ({e}); incumbent keeps serving"
-                    )?,
+                    }
+                    scores.extend(score_through_engine(
+                        &engine,
+                        &stream.select(&rest),
+                        chunk,
+                        opts,
+                    )?);
+                    scores
                 }
-                scores.extend(score_through_engine(
-                    &engine,
-                    &stream.select(&rest),
-                    chunk,
-                    opts,
-                )?);
-                scores
             }
-        }
-    };
-    // As in `score`: surface serve_* telemetry through `--metrics-out`.
-    obs::registry().merge_snapshot(&engine.metrics_snapshot());
-    write_drift_report(args, &engine, out)?;
-    let stats = engine.shutdown();
-
-    // Adaptation summary: event log, human-readable line, JSON block.
-    let adapt_json = match &adaptation {
-        None => None,
-        Some(controller) => {
-            if let Some(path) = args.optional("adapt-log") {
-                controller.write_event_log(Path::new(path))?;
-                writeln!(
-                    out,
-                    "adaptation event log ({} events) at {path}",
-                    controller.events().len()
-                )?;
+        };
+        // As in `score`: surface serve_* telemetry through `--metrics-out`.
+        obs::registry().merge_snapshot(&engine.metrics_snapshot());
+        write_drift_report(args, &engine, out)?;
+        let stats = engine.shutdown();
+        let adapt_json = match &adaptation {
+            None => None,
+            Some(controller) => Some(adapt_summary(controller, "", adapt_log, out)?),
+        };
+        (companion, adapt_json, vec![stats])
+    } else {
+        let (sharded, opts) = sharded_from_flags(args, &bundle, shards)?;
+        let mut adaptation: Option<Vec<PromotionController>> = None;
+        let companion = if args.switch("adapt") {
+            let (scores, controllers) =
+                serve_adaptively_sharded(args, &sharded, &stream, chunk, opts)?;
+            adaptation = Some(controllers);
+            scores
+        } else {
+            match args.optional("reload-model") {
+                None => score_through_sharded(&sharded, &stream, chunk, opts)?,
+                Some(reload_path) => {
+                    // Same mid-stream hot reload, pushed to every shard.
+                    let half = stream.len() / 2;
+                    let first: Vec<usize> = (0..half).collect();
+                    let rest: Vec<usize> = (half..stream.len()).collect();
+                    let mut scores =
+                        score_through_sharded(&sharded, &stream.select(&first), chunk, opts)?;
+                    let probe_features = stream.row(0).to_vec();
+                    let probe_envs = vec![stream.province[0]];
+                    match ModelBundle::load_from_path(Path::new(reload_path)) {
+                        Ok(candidate) => {
+                            match sharded.reload_all(&candidate, &probe_features, &probe_envs) {
+                                Ok(()) => writeln!(
+                                    out,
+                                    "hot-reloaded bundle from {reload_path} on all {shards} shards"
+                                )?,
+                                Err((i, e)) => writeln!(
+                                    out,
+                                    "reload of {reload_path} rejected by shard {i} ({e}); \
+                                     shards {i}.. keep their incumbent"
+                                )?,
+                            }
+                        }
+                        Err(e) => writeln!(
+                            out,
+                            "reload of {reload_path} refused ({e}); incumbent keeps serving"
+                        )?,
+                    }
+                    scores.extend(score_through_sharded(
+                        &sharded,
+                        &stream.select(&rest),
+                        chunk,
+                        opts,
+                    )?);
+                    scores
+                }
             }
-            let count = |stage: &str| {
-                controller
-                    .events()
-                    .iter()
-                    .filter(|e| e.stage == stage)
-                    .count()
-            };
-            let (promotions, rollbacks) = (count("promote"), count("rollback"));
-            writeln!(
-                out,
-                "adaptation: {} steps, generation {}, {promotions} promotion(s), \
-                 {rollbacks} rollback(s)",
-                controller.steps(),
-                controller.generation()
-            )?;
-            Some(serde_json::json!({
-                "steps": controller.steps(),
-                "generation": controller.generation(),
-                "promotions": promotions,
-                "rollbacks": rollbacks,
-                "events": controller.events().len(),
-            }))
+        };
+        for i in 0..sharded.shards() {
+            obs::registry().merge_snapshot(&sharded.shard(i).metrics_snapshot());
         }
+        write_drift_report_sharded(args, &sharded, out)?;
+        let stats = sharded.shutdown();
+        let adapt_json = match &adaptation {
+            None => None,
+            Some(controllers) => {
+                let mut blocks = Vec::with_capacity(controllers.len());
+                for (i, controller) in controllers.iter().enumerate() {
+                    let log = adapt_log.map(|p| p.with_extension(format!("shard{i}")));
+                    blocks.push(adapt_summary(
+                        controller,
+                        &format!(" (shard {i})"),
+                        log.as_deref(),
+                        out,
+                    )?);
+                }
+                Some(serde_json::Value::Array(blocks))
+            }
+        };
+        (companion, adapt_json, stats)
     };
 
     let grid: Vec<f64> = (0..=grid_points)
@@ -701,8 +980,16 @@ fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(
         "incumbent_threshold": incumbent_threshold,
         "incumbent_bad_debt": replayed.incumbent_bad_debt,
         "curve": replayed.curve,
-        "engine": &stats,
     });
+    if let serde_json::Value::Object(map) = &mut report {
+        if shards == 1 {
+            // The historical single-engine schema, unchanged.
+            map.insert("engine".into(), serde_json::json!(&stats_list[0]));
+        } else {
+            map.insert("shards".into(), serde_json::json!(shards));
+            map.insert("shard_engines".into(), serde_json::json!(&stats_list));
+        }
+    }
     // Only present under `--adapt`, keeping the default report unchanged.
     if let (Some(adapt), serde_json::Value::Object(map)) = (adapt_json, &mut report) {
         map.insert("adapt".into(), adapt);
@@ -732,8 +1019,118 @@ fn cmd_serve_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(
         best.false_positive_rate * 100.0,
         best.veto_rate * 100.0
     )?;
-    write_engine_summary(out, &stats)?;
+    if shards == 1 {
+        write_engine_summary(out, "engine", &stats_list[0])?;
+    } else {
+        for (i, stats) in stats_list.iter().enumerate() {
+            write_engine_summary(out, &format!("shard {i}"), stats)?;
+        }
+    }
     writeln!(out, "curve written to {out_path}")?;
+    Ok(())
+}
+
+/// Honor `--drift-out p.json` for the sharded front end: every shard's
+/// sentinel reports independently (each shard saw only its routed
+/// slice), bundled as `{"shards": [report, ...]}`.
+fn write_drift_report_sharded(
+    args: &ParsedArgs,
+    sharded: &ShardedEngine,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let Some(path) = args.optional("drift-out") else {
+        return Ok(());
+    };
+    let reports: Vec<serde_json::Value> = (0..sharded.shards())
+        .map(|i| match sharded.shard(i).drift_monitor() {
+            Some(monitor) => {
+                monitor.check_now();
+                serde_json::to_value(&monitor.drift_report())
+            }
+            None => serde_json::json!({ "envs": Vec::<serde_json::Value>::new() }),
+        })
+        .collect();
+    std::fs::write(
+        Path::new(path),
+        serde_json::to_string_pretty(&serde_json::json!({ "shards": reports }))
+            .expect("drift report serializes"),
+    )?;
+    writeln!(
+        out,
+        "per-shard drift report ({} shards) at {path}",
+        sharded.shards()
+    )?;
+    Ok(())
+}
+
+/// `serve-replay --loadgen-trace diurnal|flash-crowd|mixed-priority|skewed
+/// --model model.json --out report.json [--shards N] [--submitters T]
+/// [--loadgen-events E] [--loadgen-seed S]` — replay a deterministic
+/// synthetic trace (the same generator the `loadgen` bench bin drives)
+/// through the sharded front end and write aggregate throughput, p99 /
+/// p99.9 enqueue-to-reply latency, and the replay's score digest. The
+/// digest is a pure function of trace and bundle — identical across
+/// shard, worker, and submitter counts — so two runs can be diffed for
+/// determinism from the report alone.
+fn cmd_loadgen_replay(args: &ParsedArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pattern_name = args.required("loadgen-trace")?;
+    let pattern = TracePattern::parse(pattern_name).ok_or_else(|| {
+        CliError::Data(format!(
+            "--loadgen-trace {pattern_name:?} must be diurnal | flash-crowd | \
+             mixed-priority | skewed"
+        ))
+    })?;
+    let bundle = load_bundle(args.required("model")?)?;
+    let out_path = args.required("out")?;
+    let shards = args.get_or("shards", 4usize)?;
+    if shards == 0 {
+        return Err(CliError::Data("--shards must be positive".into()));
+    }
+    let submitters = args.get_or("submitters", 2usize)?.max(1);
+    let envs = ProvinceCatalog::standard().names().len() as u16;
+    let mut tc = TraceConfig::quick(pattern, bundle.n_features() as u32, envs);
+    tc.events = args.get_or("loadgen-events", tc.events)?;
+    tc.seed = args.get_or("loadgen-seed", tc.seed)?;
+    let trace = synthesize_trace(&tc);
+
+    let (sharded, _) = sharded_from_flags(args, &bundle, shards)?;
+    let outcome = replay_trace(&sharded, trace, submitters)
+        .map_err(|e| CliError::Data(format!("trace replay: {e}")))?;
+    let tail = sharded.merged_enqueue_to_reply();
+    let p99_us = tail.quantile(0.99) as f64 / 1_000.0;
+    let p999_us = tail.quantile(0.999) as f64 / 1_000.0;
+    let stats = sharded.shutdown();
+    let digest = outcome.score_digest();
+
+    let report = serde_json::json!({
+        "pattern": pattern.name(),
+        "seed": tc.seed,
+        "shards": shards,
+        "submitters": submitters,
+        "events": outcome.events,
+        "rows": outcome.rows,
+        "retried_sheds": outcome.retried_sheds,
+        "secs": outcome.elapsed.as_secs_f64(),
+        "aggregate_rows_per_sec": outcome.rows_per_sec(),
+        "enqueue_to_reply_p99_us": p99_us,
+        "enqueue_to_reply_p999_us": p999_us,
+        "score_digest": format!("{digest:016x}"),
+        "shard_engines": &stats,
+    });
+    std::fs::write(
+        Path::new(out_path),
+        serde_json::to_string_pretty(&report).expect("report serializes"),
+    )?;
+    writeln!(
+        out,
+        "replayed {} trace: {} rows over {} events across {shards} shard(s), \
+         {:.0} rows/s, p99 {p99_us:.1}us, p99.9 {p999_us:.1}us, digest {digest:016x}",
+        pattern.name(),
+        outcome.rows,
+        outcome.events,
+        outcome.rows_per_sec()
+    )?;
+    writeln!(out, "trace report written to {out_path}")?;
     Ok(())
 }
 

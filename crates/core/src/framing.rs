@@ -1,0 +1,347 @@
+//! Zero-copy scoring-request framing over the vendored `bytes` crate.
+//!
+//! The wire format the serving front end and the load generator share.
+//! A trace (or a network read) lands in one [`Bytes`] allocation;
+//! decoding walks it frame by frame, and each [`Frame`]'s payloads —
+//! env-id halfwords and feature words — are `Bytes` **slices of that
+//! same allocation**, not copies. Typed `Vec<u16>`/`Vec<f32>` buffers
+//! materialize only at the moment a request is actually submitted to an
+//! engine, so framing costs one pass over the payload regardless of how
+//! long the frame sits queued.
+//!
+//! ## Frame layout (version 1, all integers little-endian)
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 4    | magic `LMRQ` |
+//! | 4      | 1    | version (1) |
+//! | 5      | 1    | priority (0 = Low, 1 = Normal, 2 = High) |
+//! | 6      | 2    | route key (tenant/province) |
+//! | 8      | 4    | rows |
+//! | 12     | 4    | features per row |
+//! | 16     | 4    | deadline in ms from submission (0 = none) |
+//! | 20     | 2·rows | env ids, u16 each |
+//! | …      | 4·rows·features | feature values, f32 each |
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic: `LMRQ` ("LightMIRM request").
+pub const FRAME_MAGIC: [u8; 4] = *b"LMRQ";
+/// Current frame version.
+pub const FRAME_VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_BYTES: usize = 20;
+
+/// Fixed-size frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Shedding class: 0 = Low, 1 = Normal, 2 = High (the serve crate
+    /// maps this onto its `Priority`; core stays dependency-free).
+    pub priority: u8,
+    /// Routing key (tenant or province id) for the shard router.
+    pub route_key: u16,
+    /// Rows in the payload.
+    pub rows: u32,
+    /// Feature values per row.
+    pub n_features: u32,
+    /// Answer-by budget in milliseconds from submission; 0 = none.
+    pub deadline_ms: u32,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer does not start with [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// The buffer ends before the frame does.
+    Truncated {
+        /// Bytes the frame needs from the cursor.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// `rows × n_features` overflows the address space — a corrupt or
+    /// hostile header.
+    PayloadOverflow,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            FrameError::PayloadOverflow => write!(f, "frame payload size overflows"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One decoded frame. Payload accessors materialize typed vectors; the
+/// `*_bytes` accessors expose the shared-allocation slices for callers
+/// that relay without touching the values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The fixed header.
+    pub header: FrameHeader,
+    env_ids: Bytes,
+    features: Bytes,
+}
+
+impl Frame {
+    /// Materialize the env-id payload.
+    pub fn env_ids(&self) -> Vec<u16> {
+        let mut buf = self.env_ids.clone();
+        (0..self.header.rows).map(|_| buf.get_u16_le()).collect()
+    }
+
+    /// Materialize the feature payload (row-major).
+    pub fn features(&self) -> Vec<f32> {
+        let mut buf = self.features.clone();
+        let n = self.header.rows as usize * self.header.n_features as usize;
+        (0..n).map(|_| buf.get_f32_le()).collect()
+    }
+
+    /// The raw env-id bytes (slice of the decoded buffer's allocation).
+    pub fn env_id_bytes(&self) -> &Bytes {
+        &self.env_ids
+    }
+
+    /// The raw feature bytes (slice of the decoded buffer's allocation).
+    pub fn feature_bytes(&self) -> &Bytes {
+        &self.features
+    }
+}
+
+/// Append one frame to `buf`.
+///
+/// # Panics
+///
+/// Panics when `features.len() != env_ids.len() × n_features` or the
+/// row count exceeds `u32` — caller bugs, not wire conditions.
+pub fn encode_frame(
+    buf: &mut BytesMut,
+    priority: u8,
+    route_key: u16,
+    deadline_ms: u32,
+    n_features: u32,
+    env_ids: &[u16],
+    features: &[f32],
+) {
+    let rows = u32::try_from(env_ids.len()).expect("row count fits u32");
+    assert_eq!(
+        features.len(),
+        env_ids.len() * n_features as usize,
+        "features must be rows × n_features"
+    );
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.put_u8(FRAME_VERSION);
+    buf.put_u8(priority);
+    buf.put_u16_le(route_key);
+    buf.put_u32_le(rows);
+    buf.put_u32_le(n_features);
+    buf.put_u32_le(deadline_ms);
+    for &e in env_ids {
+        buf.put_u16_le(e);
+    }
+    for &x in features {
+        buf.put_u32_le(x.to_bits());
+    }
+}
+
+/// Decode one frame from the cursor, advancing past it. The returned
+/// payloads are slices sharing `buf`'s allocation.
+///
+/// # Errors
+///
+/// See [`FrameError`]; on error the cursor position is unspecified and
+/// the stream should be abandoned.
+pub fn decode_frame(buf: &mut Bytes) -> Result<Frame, FrameError> {
+    if buf.remaining() < HEADER_BYTES {
+        return Err(FrameError::Truncated {
+            need: HEADER_BYTES,
+            have: buf.remaining(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = buf.get_u8();
+    if version != FRAME_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let header = FrameHeader {
+        priority: buf.get_u8(),
+        route_key: buf.get_u16_le(),
+        rows: buf.get_u32_le(),
+        n_features: buf.get_u32_le(),
+        deadline_ms: buf.get_u32_le(),
+    };
+    let env_len = header.rows as usize * 2;
+    let feat_len = (header.rows as u64)
+        .checked_mul(u64::from(header.n_features))
+        .and_then(|v| v.checked_mul(4))
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or(FrameError::PayloadOverflow)?;
+    let need = env_len + feat_len;
+    if buf.remaining() < need {
+        return Err(FrameError::Truncated {
+            need,
+            have: buf.remaining(),
+        });
+    }
+    let env_ids = buf.slice(0..env_len);
+    buf.advance(env_len);
+    let features = buf.slice(0..feat_len);
+    buf.advance(feat_len);
+    Ok(Frame {
+        header,
+        env_ids,
+        features,
+    })
+}
+
+/// Iterate the frames of a multi-frame buffer (a loadgen trace, a
+/// connection's read buffer). Yields `Err` once on a malformed tail and
+/// then stops.
+pub struct FrameReader {
+    buf: Bytes,
+    dead: bool,
+}
+
+impl FrameReader {
+    /// A reader over `buf` from its current cursor.
+    pub fn new(buf: Bytes) -> Self {
+        FrameReader { buf, dead: false }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+impl Iterator for FrameReader {
+    type Item = Result<Frame, FrameError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.dead || self.buf.remaining() == 0 {
+            return None;
+        }
+        match decode_frame(&mut self.buf) {
+            Ok(frame) => Some(Ok(frame)),
+            Err(e) => {
+                self.dead = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, n_features: u32, key: u16) -> (Vec<u16>, Vec<f32>) {
+        let env_ids: Vec<u16> = (0..rows).map(|i| (key + i as u16) % 7).collect();
+        let features: Vec<f32> = (0..rows * n_features as usize)
+            .map(|i| (i as f32) * 0.25 - 3.0)
+            .collect();
+        (env_ids, features)
+    }
+
+    #[test]
+    fn frame_roundtrip_is_exact() {
+        let (env_ids, features) = sample(5, 3, 11);
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, 2, 11, 250, 3, &env_ids, &features);
+        let mut bytes = buf.freeze();
+        let frame = decode_frame(&mut bytes).expect("decodes");
+        assert_eq!(bytes.remaining(), 0, "cursor consumed the frame");
+        assert_eq!(
+            frame.header,
+            FrameHeader {
+                priority: 2,
+                route_key: 11,
+                rows: 5,
+                n_features: 3,
+                deadline_ms: 250,
+            }
+        );
+        assert_eq!(frame.env_ids(), env_ids);
+        // f32 payload must round-trip bit-exactly, not approximately.
+        let decoded = frame.features();
+        assert_eq!(decoded.len(), features.len());
+        for (a, b) in decoded.iter().zip(&features) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reader_walks_a_multi_frame_trace() {
+        let mut buf = BytesMut::new();
+        for key in 0u16..4 {
+            let (env_ids, features) = sample(2 + key as usize, 2, key);
+            encode_frame(&mut buf, 1, key, 0, 2, &env_ids, &features);
+        }
+        let frames: Vec<Frame> = FrameReader::new(buf.freeze())
+            .collect::<Result<_, _>>()
+            .expect("all frames decode");
+        assert_eq!(frames.len(), 4);
+        assert_eq!(frames[3].header.route_key, 3);
+        assert_eq!(frames[3].header.rows, 5);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_fail_loudly() {
+        let (env_ids, features) = sample(4, 2, 1);
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, 0, 1, 0, 2, &env_ids, &features);
+        let whole = buf.freeze();
+
+        let mut cut = whole.slice(0..whole.len() - 3);
+        assert!(matches!(
+            decode_frame(&mut cut),
+            Err(FrameError::Truncated { .. })
+        ));
+
+        let mut corrupted = whole.to_vec();
+        corrupted[0] = b'X';
+        let mut bad = Bytes::from(corrupted);
+        assert!(matches!(
+            decode_frame(&mut bad),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut reader = FrameReader::new(whole.slice(0..HEADER_BYTES + 1));
+        assert!(reader.next().expect("one item").is_err());
+        assert!(reader.next().is_none(), "reader stops after an error");
+    }
+
+    #[test]
+    fn payload_slices_share_the_trace_allocation() {
+        // The accessor contract: env/feature bytes come from the decoded
+        // buffer, positioned exactly over the payload regions.
+        let (env_ids, features) = sample(3, 2, 9);
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, 1, 9, 0, 2, &env_ids, &features);
+        let whole = buf.freeze();
+        let mut cursor = whole.clone();
+        let frame = decode_frame(&mut cursor).expect("decodes");
+        assert_eq!(
+            frame.env_id_bytes().as_slice(),
+            &whole.as_slice()[HEADER_BYTES..HEADER_BYTES + 6]
+        );
+        assert_eq!(
+            frame.feature_bytes().as_slice(),
+            &whole.as_slice()[HEADER_BYTES + 6..]
+        );
+    }
+}

@@ -56,6 +56,7 @@ pub mod env;
 pub mod eval;
 pub mod explain;
 pub mod failpoint;
+pub mod framing;
 pub mod kernels;
 pub mod lr;
 pub mod mrq;

@@ -1,11 +1,19 @@
 //! The micro-batched scoring engine.
 //!
-//! Architecture: submitters push requests into one bounded FIFO guarded
-//! by a mutex with two condvars (`not_empty` wakes workers, `not_full`
-//! wakes blocked submitters). Workers pull whole requests — a request is
-//! never split across micro-batches — until the batch reaches
-//! `max_batch` rows, the oldest queued request ages past `max_wait`, or
-//! shutdown is draining. Each batch is scored in one
+//! Architecture: submitters reserve row capacity with one CAS on an
+//! atomic row counter, then push requests into a bounded lock-free
+//! [`MpmcRing`]; there is no mutex on the accept path. A small park
+//! mutex with two condvars (`not_empty` wakes workers, `not_full` wakes
+//! blocked submitters) exists **solely** for parked-thread wakeup — the
+//! notifier brackets the mutex before notifying, pairing with the
+//! waiter's re-check under the same mutex, so a wakeup can never be
+//! missed while the hot path stays lock-free. Workers pull whole
+//! requests — a request is never split across micro-batches — until the
+//! batch reaches `max_batch` rows, the oldest queued request ages past
+//! `max_wait`, or shutdown is draining. Reserved rows are released at
+//! dispatch (not at ring pop), so backpressure and the shed watermark
+//! see coalescing batches as still queued, exactly as the mutex-guarded
+//! queue did. Each batch is scored in one
 //! [`ModelBundle::score_batch_quarantined`] call and the scores are
 //! fanned back out through per-request channels.
 //!
@@ -38,10 +46,13 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::ring::MpmcRing;
 
 use lightmirm_core::bundle::{ModelBundle, QuarantineFallback, QuarantinePolicy};
 use lightmirm_core::failpoint;
@@ -86,6 +97,12 @@ pub struct EngineConfig {
     /// observation-only — scores are bit-identical with the sentinel on
     /// or off (`tests/monitor.rs` proves it).
     pub monitor: Option<crate::monitor::MonitorConfig>,
+    /// Failpoint scope label. `None` keeps the historical global site
+    /// names (`serve::score_batch`, …); `Some("shard0")` suffixes every
+    /// site (`serve::score_batch#shard0`) so chaos tests can target one
+    /// shard of a [`crate::shard::ShardedEngine`] without touching its
+    /// siblings. See [`scoped_failpoint_site`].
+    pub chaos_scope: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +116,40 @@ impl Default for EngineConfig {
             shed_watermark: 1.0,
             quarantine: QuarantinePolicy::default(),
             monitor: None,
+            chaos_scope: None,
+        }
+    }
+}
+
+/// The failpoint site name a scoped engine fires for `base`:
+/// `base#scope`. Chaos tests targeting one shard build the site name
+/// with this instead of hard-coding the separator.
+pub fn scoped_failpoint_site(base: &str, scope: &str) -> String {
+    format!("{base}#{scope}")
+}
+
+/// Precomputed failpoint site names, so the hot path never formats a
+/// string. With no scope these are the historical global names.
+struct FailSites {
+    worker_loop: String,
+    dispatch_delay: String,
+    score_batch: String,
+    reload_probe: String,
+    reply: String,
+}
+
+impl FailSites {
+    fn new(scope: Option<&str>) -> Self {
+        let site = |base: &str| match scope {
+            None => base.to_string(),
+            Some(sc) => scoped_failpoint_site(base, sc),
+        };
+        FailSites {
+            worker_loop: site("serve::worker_loop"),
+            dispatch_delay: site("serve::dispatch_delay"),
+            score_batch: site("serve::score_batch"),
+            reload_probe: site("serve::reload_probe"),
+            reply: site("serve::reply"),
         }
     }
 }
@@ -284,12 +335,105 @@ impl Request {
     }
 }
 
-/// Queue state behind the mutex.
-struct QueueState {
-    queue: VecDeque<Request>,
-    /// Total rows across `queue` (the backpressure quantity).
-    queued_rows: usize,
-    shutdown: bool,
+/// The engine's intake: a lock-free MPMC ring fronted by a small retry
+/// stash, with row-count backpressure kept in one atomic.
+///
+/// Invariants (the basis of the drain and capacity proofs):
+/// - `queued_rows` counts rows **admitted but not yet dispatched**. It
+///   is reserved by CAS in `submit` *before* the push, and released at
+///   dispatch time (after a micro-batch is formed) — not at ring pop —
+///   so the shed watermark and capacity bound see coalescing rows as
+///   still queued, and `queued_rows == 0` proves no request is in the
+///   ring, the stash, a producer's hands post-reservation, or a forming
+///   batch.
+/// - The ring can never reject an admitted push: its slot count is at
+///   least `queue_capacity`, every in-ring request holds ≥ 1 reserved
+///   row, and panic-requeued requests bypass the ring via the stash.
+/// - The stash is drained ahead of the ring, and overflow push-backs go
+///   to its *front*, so FIFO order survives both panics and row-budget
+///   boundaries.
+struct WorkQueue {
+    ring: MpmcRing<Request>,
+    /// Panic-requeued requests and row-budget overflow push-backs; runs
+    /// ahead of the ring.
+    retry: Mutex<VecDeque<Request>>,
+    /// Lock-free emptiness check for `retry` so the pop fast path skips
+    /// the stash mutex entirely.
+    retry_len: AtomicUsize,
+    /// Total rows admitted and not yet dispatched (the backpressure
+    /// quantity).
+    queued_rows: AtomicUsize,
+}
+
+impl WorkQueue {
+    fn new(capacity_rows: usize) -> Self {
+        WorkQueue {
+            ring: MpmcRing::with_capacity(capacity_rows),
+            retry: Mutex::new(VecDeque::new()),
+            retry_len: AtomicUsize::new(0),
+            queued_rows: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueue an admitted request. Cannot fail: see the struct-level
+    /// capacity invariant. (The stash fallback is a belt-and-suspenders
+    /// path so an accepted request is never dropped even if the
+    /// invariant were broken.)
+    fn push(&self, req: Request) {
+        if let Err(req) = self.ring.push(req) {
+            debug_assert!(false, "ring full despite row reservation");
+            let mut stash = lock(&self.retry);
+            stash.push_back(req);
+            self.retry_len.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Dequeue the next request: stash first, then ring.
+    fn pop(&self) -> Option<Request> {
+        if self.retry_len.load(Ordering::SeqCst) > 0 {
+            let mut stash = lock(&self.retry);
+            if let Some(req) = stash.pop_front() {
+                self.retry_len.fetch_sub(1, Ordering::SeqCst);
+                return Some(req);
+            }
+        }
+        self.ring.pop()
+    }
+
+    /// Return a popped-but-undispatched request to the queue head (its
+    /// rows were never released, so only the stash needs updating).
+    fn unpop(&self, req: Request) {
+        let mut stash = lock(&self.retry);
+        stash.push_front(req);
+        self.retry_len.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Whether a pop would find anything right now.
+    fn has_work(&self) -> bool {
+        self.retry_len.load(Ordering::SeqCst) > 0 || !self.ring.is_empty()
+    }
+
+    /// Pop whole requests into `batch` until it holds `max_batch` rows.
+    /// Never splits a request; an oversized request starting a batch
+    /// dispatches alone; a request that would overflow a non-empty batch
+    /// goes back to the queue head untouched. Returns `true` when the
+    /// row budget is met (caller dispatches immediately), `false` when
+    /// the queue ran dry first.
+    fn fill(&self, batch: &mut Vec<Request>, rows: &mut usize, max_batch: usize) -> bool {
+        while *rows < max_batch {
+            let Some(req) = self.pop() else {
+                return false;
+            };
+            let next = req.env_ids.len();
+            if !batch.is_empty() && *rows + next > max_batch {
+                self.unpop(req);
+                return true;
+            }
+            *rows += next;
+            batch.push(req);
+        }
+        true
+    }
 }
 
 /// Serving telemetry, updated by submitters and workers.
@@ -437,9 +581,23 @@ struct Shared {
     /// enforces it), so submit validation needs no bundle lock.
     n_features: usize,
     cfg: EngineConfig,
-    state: Mutex<QueueState>,
+    queue: WorkQueue,
+    /// Intake cutoff. SeqCst everywhere it meets `queued_rows`: the
+    /// submit path re-checks it *after* winning a row reservation, and a
+    /// draining worker reads it *before* reading `queued_rows`, so in
+    /// the SeqCst total order either the submitter sees the cutoff and
+    /// backs its reservation out, or every draining worker sees the
+    /// reserved rows and keeps serving until they are dispatched.
+    shutdown: AtomicBool,
+    /// Parking anchor for both condvars. Never guards data: a notifier
+    /// brackets it (lock, drop) before notifying, pairing with the
+    /// waiter's re-check under the same mutex, which closes the
+    /// check-then-park window without putting a mutex on the hot path.
+    park: Mutex<()>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Precomputed (possibly shard-scoped) failpoint site names.
+    sites: FailSites,
     metrics: Mutex<Metrics>,
     /// Join handles of workers respawned after a thread death.
     respawned: Mutex<Vec<JoinHandle<()>>>,
@@ -462,6 +620,20 @@ impl Shared {
 
     fn current_monitor(&self) -> Option<Arc<crate::monitor::DriftMonitor>> {
         lock(&self.monitor).clone()
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Bracket the park mutex, then wake. Pairs with a waiter that
+    /// re-checks its condition under the same mutex before waiting: the
+    /// bracket cannot complete between the waiter's re-check and its
+    /// wait, so the state change is either seen by the re-check or the
+    /// notify lands after the wait began.
+    fn wake(&self, cv: &Condvar) {
+        drop(lock(&self.park));
+        cv.notify_all();
     }
 }
 
@@ -503,17 +675,17 @@ impl ScoringEngine {
         );
         let n_features = bundle.n_features();
         let monitor = build_monitor(&cfg, &bundle);
+        let sites = FailSites::new(cfg.chaos_scope.as_deref());
         let shared = Arc::new(Shared {
             bundle: Mutex::new(Arc::new(bundle)),
             n_features,
+            queue: WorkQueue::new(cfg.queue_capacity),
             cfg: cfg.clone(),
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                queued_rows: 0,
-                shutdown: false,
-            }),
+            shutdown: AtomicBool::new(false),
+            park: Mutex::new(()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            sites,
             metrics: Mutex::new(Metrics::default()),
             respawned: Mutex::new(Vec::new()),
             monitor: Mutex::new(monitor),
@@ -593,6 +765,37 @@ impl ScoringEngine {
         self.submit_inner(features, env_ids, opts, false)
     }
 
+    /// Non-blocking submit that hands the buffers back on rejection, so
+    /// a shard router can redirect an overflowing request to a sibling
+    /// without cloning the feature rows.
+    ///
+    /// # Errors
+    ///
+    /// The [`SubmitError`] plus the untouched `features`/`env_ids`.
+    pub fn try_submit_reclaim(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+        opts: SubmitOptions,
+    ) -> Result<PendingScores, (SubmitError, Vec<f32>, Vec<u16>)> {
+        self.submit_reclaim(features, env_ids, opts, false)
+    }
+
+    /// Blocking [`ScoringEngine::try_submit_reclaim`].
+    ///
+    /// # Errors
+    ///
+    /// The [`SubmitError`] plus the untouched `features`/`env_ids`.
+    pub fn submit_reclaim(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+        opts: SubmitOptions,
+        block: bool,
+    ) -> Result<PendingScores, (SubmitError, Vec<f32>, Vec<u16>)> {
+        self.submit_full(features, env_ids, opts, block)
+    }
+
     /// Submit and wait: the one-call form for batch drivers.
     ///
     /// # Errors
@@ -615,13 +818,25 @@ impl ScoringEngine {
         opts: SubmitOptions,
         block: bool,
     ) -> Result<PendingScores, SubmitError> {
+        self.submit_full(features, env_ids, opts, block)
+            .map_err(|(e, _, _)| e)
+    }
+
+    fn submit_full(
+        &self,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+        opts: SubmitOptions,
+        block: bool,
+    ) -> Result<PendingScores, (SubmitError, Vec<f32>, Vec<u16>)> {
         let submitted_at = Instant::now();
         let expected = env_ids.len() * self.shared.n_features;
         if features.len() != expected {
-            return Err(SubmitError::Malformed {
+            let err = SubmitError::Malformed {
                 features: features.len(),
                 expected,
-            });
+            };
+            return Err((err, features, env_ids));
         }
         let rows = env_ids.len();
         let (tx, rx) = mpsc::channel();
@@ -635,41 +850,69 @@ impl ScoringEngine {
             return Ok(PendingScores { rx, rows });
         }
         if rows > self.shared.cfg.queue_capacity {
-            return Err(SubmitError::RequestTooLarge {
+            let err = SubmitError::RequestTooLarge {
                 rows,
                 capacity: self.shared.cfg.queue_capacity,
-            });
+            };
+            return Err((err, features, env_ids));
         }
-        let capacity = self.shared.cfg.queue_capacity;
+        let shared = &*self.shared;
+        let capacity = shared.cfg.queue_capacity;
         // Low-priority traffic sheds at the watermark, before the hard
         // bound, so critical traffic keeps headroom under pressure.
-        let shed_rows = ((capacity as f64) * self.shared.cfg.shed_watermark).ceil() as usize;
-        let mut st = lock(&self.shared.state);
+        let shed_rows = ((capacity as f64) * shared.cfg.shed_watermark).ceil() as usize;
+        let queued = &shared.queue.queued_rows;
+        // Admission is one CAS on the row counter: the loaded value both
+        // decides (shed/full/fits) and guards the reservation, so a
+        // concurrent admit that would invalidate the decision makes the
+        // CAS fail and the decision is retaken.
         loop {
-            if st.shutdown {
-                return Err(SubmitError::ShuttingDown);
+            if shared.is_shutdown() {
+                return Err((SubmitError::ShuttingDown, features, env_ids));
             }
-            if opts.priority == Priority::Low && st.queued_rows + rows > shed_rows {
-                drop(st);
-                lock(&self.shared.metrics).shed_low_priority += 1;
-                return Err(SubmitError::Shed);
+            let cur = queued.load(Ordering::SeqCst);
+            if opts.priority == Priority::Low && cur + rows > shed_rows {
+                lock(&shared.metrics).shed_low_priority += 1;
+                return Err((SubmitError::Shed, features, env_ids));
             }
-            if st.queued_rows + rows <= capacity {
-                break;
+            if cur + rows <= capacity {
+                if queued
+                    .compare_exchange(cur, cur + rows, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+                continue;
             }
             if !block {
-                drop(st);
-                lock(&self.shared.metrics).rejected_full += 1;
-                return Err(SubmitError::QueueFull);
+                lock(&shared.metrics).rejected_full += 1;
+                return Err((SubmitError::QueueFull, features, env_ids));
             }
-            st = self
-                .shared
-                .not_full
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Park until a dispatch frees rows. Re-check under the park
+            // mutex (see `Shared::wake` for the pairing argument).
+            let guard = lock(&shared.park);
+            if shared.is_shutdown() || queued.load(Ordering::SeqCst) + rows <= capacity {
+                continue;
+            }
+            drop(
+                shared
+                    .not_full
+                    .wait(guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+        }
+        // Shutdown re-check *after* the reservation (see the `shutdown`
+        // field docs): if the cutoff raced in, back the rows out and
+        // reject — workers may already have drained past us. If it did
+        // not, every draining worker is guaranteed to see our rows and
+        // wait for the push below.
+        if shared.is_shutdown() {
+            queued.fetch_sub(rows, Ordering::SeqCst);
+            shared.wake(&shared.not_full);
+            return Err((SubmitError::ShuttingDown, features, env_ids));
         }
         let now = Instant::now();
-        st.queue.push_back(Request {
+        shared.queue.push(Request {
             features,
             env_ids,
             submitted_at,
@@ -678,11 +921,9 @@ impl ScoringEngine {
             attempts: 0,
             responder: tx,
         });
-        st.queued_rows += rows;
-        let depth = st.queued_rows;
-        drop(st);
-        self.shared.not_empty.notify_all();
-        let mut m = lock(&self.shared.metrics);
+        let depth = queued.load(Ordering::Relaxed);
+        shared.wake(&shared.not_empty);
+        let mut m = lock(&shared.metrics);
         m.requests += 1;
         m.queue_depth.record(depth as u64);
         Ok(PendingScores { rx, rows })
@@ -731,7 +972,7 @@ impl ScoringEngine {
             let scores = match catch_unwind(AssertUnwindSafe(|| {
                 // Failpoint: stall (Delay) to widen the probe window for
                 // race tests, or panic to model probe divergence.
-                failpoint::pause_or_panic("serve::reload_probe");
+                failpoint::pause_or_panic(&self.shared.sites.reload_probe);
                 candidate.score_batch(probe_features, probe_env_ids)
             })) {
                 Ok(scores) => scores,
@@ -839,16 +1080,41 @@ impl ScoringEngine {
         MetricsSnapshot { metrics }
     }
 
+    /// Rows admitted and not yet dispatched — the live backpressure
+    /// quantity. The shard router reads this for least-loaded redirects.
+    pub fn queued_rows(&self) -> usize {
+        self.shared.queue.queued_rows.load(Ordering::SeqCst)
+    }
+
+    /// Whether [`ScoringEngine::begin_shutdown`] has been called (the
+    /// engine may still be draining accepted requests).
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_shutdown()
+    }
+
+    /// Clone of the submit-call-entry → reply latency histogram. Unlike
+    /// the flattened [`EngineStats`] percentiles this keeps the bucket
+    /// shape, so a sharded front end can merge shards and read p99/p99.9
+    /// from the aggregate.
+    pub fn enqueue_to_reply_histogram(&self) -> Histogram {
+        lock(&self.shared.metrics).enqueue_to_reply_ns.clone()
+    }
+
+    /// Clone of the queue-admission → reply latency histogram (blocking
+    /// submit waits excluded); same merging rationale as
+    /// [`ScoringEngine::enqueue_to_reply_histogram`].
+    pub fn latency_histogram(&self) -> Histogram {
+        lock(&self.shared.metrics).latency_ns.clone()
+    }
+
     /// Stop intake without joining the workers: subsequent submissions
     /// fail with [`SubmitError::ShuttingDown`] while already-accepted
     /// requests keep draining. Callable from any thread holding a shared
     /// reference — the drain-from-shared-context half of
     /// [`ScoringEngine::shutdown`].
     pub fn begin_shutdown(&self) {
-        {
-            let mut st = lock(&self.shared.state);
-            st.shutdown = true;
-        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        drop(lock(&self.shared.park));
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
     }
@@ -936,60 +1202,94 @@ fn worker_loop(shared: &Shared) {
     loop {
         // Chaos site: a panic here escapes the scoring guard and kills
         // the thread, exercising the respawn path.
-        failpoint::pause_or_panic("serve::worker_loop");
+        failpoint::pause_or_panic(&shared.sites.worker_loop);
         let Some(batch) = next_batch(shared) else {
             return;
         };
-        // Space just freed: wake blocked submitters.
-        shared.not_full.notify_all();
         process_batch(shared, batch);
     }
 }
 
-/// Block until a micro-batch is ready: `max_batch` rows queued, the
-/// oldest request past the `max_wait` deadline, or shutdown draining.
-/// Returns `None` when shut down with an empty queue.
+/// Block until a micro-batch is ready: `max_batch` rows popped, the
+/// oldest popped request past the `max_wait` deadline, or shutdown
+/// draining. Returns `None` when shut down with every admitted row
+/// dispatched.
 fn next_batch(shared: &Shared) -> Option<Vec<Request>> {
-    let mut st = lock(&shared.state);
+    let cfg = &shared.cfg;
+    let mut batch: Vec<Request> = Vec::new();
+    let mut rows = 0usize;
     loop {
-        if let Some(front) = st.queue.front() {
-            let age = front.enqueued_at.elapsed();
-            if st.shutdown || st.queued_rows >= shared.cfg.max_batch || age >= shared.cfg.max_wait {
-                return Some(take_batch(&mut st, shared.cfg.max_batch));
+        if shared.queue.fill(&mut batch, &mut rows, cfg.max_batch) {
+            return Some(dispatch(shared, batch, rows));
+        }
+        // Queue ran dry before the row budget.
+        match batch.first() {
+            Some(first) => {
+                let age = first.enqueued_at.elapsed();
+                if shared.is_shutdown() || age >= cfg.max_wait {
+                    return Some(dispatch(shared, batch, rows));
+                }
+                // Coalescing window still open: park for the remainder
+                // (or a push wakeup), re-checking under the park mutex.
+                let guard = lock(&shared.park);
+                if shared.queue.has_work() || shared.is_shutdown() {
+                    continue;
+                }
+                let (guard, _timeout) = shared
+                    .not_empty
+                    .wait_timeout(guard, cfg.max_wait - age)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                drop(guard);
             }
-            let remaining = shared.cfg.max_wait - age;
-            let (guard, _timeout) = shared
-                .not_empty
-                .wait_timeout(st, remaining)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            st = guard;
-        } else if st.shutdown {
-            return None;
-        } else {
-            st = shared
-                .not_empty
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            None => {
+                // Exit test: shutdown is read BEFORE queued_rows (see
+                // the `shutdown` field docs) — `queued_rows == 0` after
+                // the cutoff proves nothing is left anywhere.
+                if shared.is_shutdown() {
+                    if shared.queue.queued_rows.load(Ordering::SeqCst) == 0 {
+                        return None;
+                    }
+                    // Rows are reserved but not poppable yet: a producer
+                    // mid-push or a sibling's forming batch. Timed park
+                    // so the drain re-tests promptly either way.
+                    let guard = lock(&shared.park);
+                    if shared.queue.has_work() {
+                        continue;
+                    }
+                    let (guard, _timeout) = shared
+                        .not_empty
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    drop(guard);
+                } else {
+                    let guard = lock(&shared.park);
+                    if shared.queue.has_work() || shared.is_shutdown() {
+                        continue;
+                    }
+                    drop(
+                        shared
+                            .not_empty
+                            .wait(guard)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    );
+                }
+            }
         }
     }
 }
 
-/// Pop whole requests until the batch holds `max_batch` rows (always at
-/// least one request; an oversized request dispatches alone).
-fn take_batch(st: &mut QueueState, max_batch: usize) -> Vec<Request> {
-    let mut batch = Vec::new();
-    let mut rows = 0;
-    while let Some(front) = st.queue.front() {
-        let next = front.env_ids.len();
-        if !batch.is_empty() && rows + next > max_batch {
-            break;
-        }
-        rows += next;
-        st.queued_rows -= next;
-        batch.push(st.queue.pop_front().expect("front exists"));
-        if rows >= max_batch {
-            break;
-        }
+/// Release a formed batch's row reservation and wake parked threads.
+/// This is the moment `queued_rows` drops — ring pops alone leave the
+/// backpressure quantity untouched so shedding and capacity decisions
+/// count coalescing rows.
+fn dispatch(shared: &Shared, batch: Vec<Request>, rows: usize) -> Vec<Request> {
+    debug_assert!(!batch.is_empty());
+    shared.queue.queued_rows.fetch_sub(rows, Ordering::SeqCst);
+    shared.wake(&shared.not_full);
+    if shared.is_shutdown() {
+        // A draining sibling may be parked on intake waiting for these
+        // rows to resolve.
+        shared.not_empty.notify_all();
     }
     batch
 }
@@ -1009,7 +1309,7 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
         return;
     }
     // Chaos site: stall a dispatch without corrupting it.
-    failpoint::pause_or_panic("serve::dispatch_delay");
+    failpoint::pause_or_panic(&shared.sites.dispatch_delay);
 
     let total_rows: usize = batch.iter().map(|r| r.env_ids.len()).sum();
     let _span = lightmirm_core::span!("process_batch", rows = total_rows, requests = batch.len());
@@ -1024,7 +1324,7 @@ fn process_batch(shared: &Shared, batch: Vec<Request>) {
     // injected fault) must not take the worker — or the engine — down.
     let score_start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        failpoint::pause_or_panic("serve::score_batch");
+        failpoint::pause_or_panic(&shared.sites.score_batch);
         bundle.score_batch_quarantined(&features, &env_ids, &shared.cfg.quarantine)
     }));
     // Panicked batches don't record a score time: the batch was not
@@ -1069,6 +1369,11 @@ fn fan_out(
                 .record_duration(req.submitted_at.elapsed());
         }
     }
+    // Chaos site: stall (or kill) the reply path. Fired OUTSIDE every
+    // engine lock — the shutdown-under-full-queue regression test pins
+    // this down: a blocked producer must be able to observe shutdown
+    // while replies are stalled here.
+    failpoint::pause_or_panic(&shared.sites.reply);
     let mut bad_iter = scored.quarantined.iter().peekable();
     let mut offset = 0u32;
     for req in batch {
@@ -1105,8 +1410,10 @@ fn requeue_or_poison(shared: &Shared, batch: Vec<Request>) {
     {
         let mut m = lock(&shared.metrics);
         m.worker_panics += 1;
-        let mut st = lock(&shared.state);
-        // `rev()` so push_front preserves the batch's original order.
+        // `rev()` so stash push_front preserves the batch's original
+        // order. Rows are re-reserved BEFORE each request becomes
+        // poppable, so a draining worker that reads `queued_rows == 0`
+        // cannot race past a retry.
         for mut req in batch.into_iter().rev() {
             req.attempts += 1;
             if req.attempts >= shared.cfg.max_attempts {
@@ -1114,12 +1421,15 @@ fn requeue_or_poison(shared: &Shared, batch: Vec<Request>) {
                 poisoned.push(req);
             } else {
                 m.retried_requests += 1;
-                st.queued_rows += req.env_ids.len();
-                st.queue.push_front(req);
+                shared
+                    .queue
+                    .queued_rows
+                    .fetch_add(req.env_ids.len(), Ordering::SeqCst);
+                shared.queue.unpop(req);
             }
         }
     }
-    shared.not_empty.notify_all();
+    shared.wake(&shared.not_empty);
     for req in poisoned {
         let attempts = req.attempts;
         req.answer(Err(ScoreError::Poisoned { attempts }));
@@ -1143,41 +1453,74 @@ mod tests {
         }
     }
 
-    fn state_of(reqs: Vec<Request>) -> QueueState {
-        let queued_rows = reqs.iter().map(|r| r.env_ids.len()).sum();
-        QueueState {
-            queue: reqs.into(),
-            queued_rows,
-            shutdown: false,
+    fn queue_of(reqs: Vec<Request>) -> WorkQueue {
+        let rows: usize = reqs.iter().map(|r| r.env_ids.len()).sum();
+        let wq = WorkQueue::new(1024);
+        for r in reqs {
+            wq.push(r);
         }
+        wq.queued_rows.store(rows, Ordering::SeqCst);
+        wq
+    }
+
+    fn fill(wq: &WorkQueue, max_batch: usize) -> Vec<Request> {
+        let mut batch = Vec::new();
+        let mut rows = 0;
+        wq.fill(&mut batch, &mut rows, max_batch);
+        batch
     }
 
     #[test]
     fn take_batch_respects_row_budget_but_never_splits_requests() {
-        let mut st = state_of(vec![req(3), req(3), req(3)]);
-        let batch = take_batch(&mut st, 6);
+        let wq = queue_of(vec![req(3), req(3), req(3)]);
+        let batch = fill(&wq, 6);
         assert_eq!(batch.len(), 2); // 3 + 3 = 6 rows exactly
-        assert_eq!(st.queued_rows, 3);
-        let batch = take_batch(&mut st, 6);
+        let batch = fill(&wq, 6);
         assert_eq!(batch.len(), 1);
-        assert_eq!(st.queued_rows, 0);
+        assert!(!wq.has_work());
     }
 
     #[test]
     fn take_batch_dispatches_oversized_requests_alone() {
-        let mut st = state_of(vec![req(100), req(1)]);
-        let batch = take_batch(&mut st, 8);
+        let wq = queue_of(vec![req(100), req(1)]);
+        let batch = fill(&wq, 8);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].env_ids.len(), 100);
-        assert_eq!(st.queued_rows, 1);
+        assert!(wq.has_work(), "the 1-row request stays queued");
     }
 
     #[test]
     fn take_batch_stops_before_overflowing() {
-        let mut st = state_of(vec![req(5), req(4)]);
-        let batch = take_batch(&mut st, 8);
+        let wq = queue_of(vec![req(5), req(4)]);
+        let batch = fill(&wq, 8);
         assert_eq!(batch.len(), 1); // 5 + 4 would exceed 8
-        assert_eq!(st.queued_rows, 4);
+                                    // The overflowing request went back to the queue head untouched
+                                    // and leads the next batch (FIFO across the budget boundary).
+        let batch = fill(&wq, 8);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].env_ids.len(), 4);
+    }
+
+    #[test]
+    fn retry_stash_runs_ahead_of_the_ring() {
+        let wq = queue_of(vec![req(1), req(2)]);
+        wq.unpop(req(7)); // a panic-requeued request
+        let batch = fill(&wq, 100);
+        let sizes: Vec<usize> = batch.iter().map(|r| r.env_ids.len()).collect();
+        assert_eq!(sizes, vec![7, 1, 2], "stash first, then ring order");
+    }
+
+    #[test]
+    fn scoped_failpoint_sites_are_suffixed() {
+        let sites = FailSites::new(Some("shard3"));
+        assert_eq!(sites.score_batch, "serve::score_batch#shard3");
+        assert_eq!(
+            sites.score_batch,
+            scoped_failpoint_site("serve::score_batch", "shard3")
+        );
+        let global = FailSites::new(None);
+        assert_eq!(global.score_batch, "serve::score_batch");
+        assert_eq!(global.reply, "serve::reply");
     }
 
     #[test]

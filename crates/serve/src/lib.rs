@@ -74,17 +74,23 @@
 
 pub mod adapt;
 mod engine;
+pub mod loadgen;
 pub mod monitor;
+pub mod registry;
+pub mod ring;
+pub mod shard;
 
 pub use adapt::{
     AdaptConfig, AdaptEvent, AdaptOutcome, FeedConfig, FeedSnapshot, LabelFeed,
     PromotionController, RollbackReason,
 };
 pub use engine::{
-    EngineConfig, EngineStats, PendingScores, Priority, ReloadError, ScoreError, ScoredResponse,
-    ScoringEngine, SubmitError, SubmitOptions,
+    scoped_failpoint_site, EngineConfig, EngineStats, PendingScores, Priority, ReloadError,
+    ScoreError, ScoredResponse, ScoringEngine, SubmitError, SubmitOptions,
 };
 pub use monitor::{DriftMonitor, DriftReport, EnvDrift, MonitorConfig, SignalDrift};
+pub use registry::{ModelRegistry, RegistryConfig, RegistryError};
+pub use shard::{OverflowPolicy, ShardConfig, ShardRouter, ShardedEngine};
 // Re-export the quarantine vocabulary so engine embedders need not
 // depend on `lightmirm-core` directly for configuration.
 pub use lightmirm_core::bundle::{QuarantineFallback, QuarantinePolicy};

@@ -1,0 +1,223 @@
+//! Per-tenant model registry under a memory budget.
+//!
+//! A sharded deployment serves many tenants (provinces, portfolios)
+//! whose bundles cannot all stay resident. The registry keeps bundles
+//! behind `Arc`s under a byte budget with least-recently-used eviction,
+//! with one hard rule the chaos suite pins down: **a bundle marked
+//! active — some shard's serving champion — is never evicted**, no
+//! matter the pressure. Eviction only ever reclaims inactive bundles; if
+//! the budget cannot be met without touching a champion, the insert
+//! fails loudly instead.
+//!
+//! Budget accounting uses the bundle's serialized JSON size — the same
+//! bytes a cold load would read — so the budget means the same thing
+//! across process restarts and heterogeneous bundles.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use lightmirm_core::bundle::ModelBundle;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Registry tuning.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Total serialized-bundle bytes the registry may hold resident.
+    pub budget_bytes: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            // Room for a handful of typical bundles; deployments size
+            // this to their tenant fan-out.
+            budget_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Why the registry refused an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The bundle cannot fit even after evicting every inactive
+    /// resident — the remainder is pinned by active champions.
+    BudgetExceeded {
+        /// Bytes the incoming bundle needs.
+        need: usize,
+        /// The configured budget.
+        budget: usize,
+        /// Bytes held by unevictable (active) bundles.
+        pinned: usize,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::BudgetExceeded {
+                need,
+                budget,
+                pinned,
+            } => write!(
+                f,
+                "bundle of {need} bytes cannot fit: budget {budget}, {pinned} pinned by active champions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+struct Entry {
+    bundle: Arc<ModelBundle>,
+    bytes: usize,
+    /// Logical LRU clock tick of the last touch.
+    last_used: u64,
+}
+
+struct State {
+    entries: BTreeMap<u16, Entry>,
+    /// Tenants whose bundle is some shard's serving champion.
+    active: BTreeSet<u16>,
+    clock: u64,
+    bytes_used: usize,
+    evictions: u64,
+}
+
+/// LRU model cache with active-champion pinning. All methods are
+/// thread-safe (`&self`).
+pub struct ModelRegistry {
+    budget: usize,
+    state: Mutex<State>,
+}
+
+impl ModelRegistry {
+    /// An empty registry under `cfg.budget_bytes`.
+    pub fn new(cfg: &RegistryConfig) -> Self {
+        ModelRegistry {
+            budget: cfg.budget_bytes,
+            state: Mutex::new(State {
+                entries: BTreeMap::new(),
+                active: BTreeSet::new(),
+                clock: 0,
+                bytes_used: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Insert (or replace) `tenant`'s bundle, evicting inactive LRU
+    /// residents as needed. Replacing a tenant's own bundle keeps its
+    /// active mark — that is exactly a promotion.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::BudgetExceeded`] when the budget cannot be met
+    /// without evicting an active champion; the registry is unchanged.
+    pub fn insert(
+        &self,
+        tenant: u16,
+        bundle: ModelBundle,
+    ) -> Result<Arc<ModelBundle>, RegistryError> {
+        let need = bundle.to_json().len();
+        let mut st = lock(&self.state);
+        let freed_by_replace = st.entries.get(&tenant).map_or(0, |e| e.bytes);
+        // Feasibility first, so an impossible insert leaves residents
+        // untouched: only inactive bytes (plus the replaced entry) are
+        // reclaimable.
+        let pinned: usize = st
+            .entries
+            .iter()
+            .filter(|(t, _)| st.active.contains(t) && **t != tenant)
+            .map(|(_, e)| e.bytes)
+            .sum();
+        if pinned + need > self.budget {
+            return Err(RegistryError::BudgetExceeded {
+                need,
+                budget: self.budget,
+                pinned,
+            });
+        }
+        if freed_by_replace > 0 {
+            st.entries.remove(&tenant);
+            st.bytes_used -= freed_by_replace;
+        }
+        // Evict inactive LRU entries until the bundle fits.
+        while st.bytes_used + need > self.budget {
+            let victim = st
+                .entries
+                .iter()
+                .filter(|(t, _)| !st.active.contains(t))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&t, _)| t)
+                .expect("feasibility check guarantees an inactive victim");
+            let evicted = st.entries.remove(&victim).expect("victim resident");
+            st.bytes_used -= evicted.bytes;
+            st.evictions += 1;
+        }
+        st.clock += 1;
+        let arc = Arc::new(bundle);
+        let tick = st.clock;
+        st.entries.insert(
+            tenant,
+            Entry {
+                bundle: Arc::clone(&arc),
+                bytes: need,
+                last_used: tick,
+            },
+        );
+        st.bytes_used += need;
+        Ok(arc)
+    }
+
+    /// Fetch `tenant`'s bundle, refreshing its LRU position.
+    pub fn get(&self, tenant: u16) -> Option<Arc<ModelBundle>> {
+        let mut st = lock(&self.state);
+        st.clock += 1;
+        let tick = st.clock;
+        let entry = st.entries.get_mut(&tenant)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.bundle))
+    }
+
+    /// Pin `tenant`'s bundle as a serving champion: unevictable until
+    /// [`ModelRegistry::clear_active`]. Idempotent; pinning a
+    /// non-resident tenant is a no-op that takes effect on insert.
+    pub fn mark_active(&self, tenant: u16) {
+        lock(&self.state).active.insert(tenant);
+    }
+
+    /// Release `tenant`'s champion pin (the bundle becomes ordinary LRU
+    /// fodder).
+    pub fn clear_active(&self, tenant: u16) {
+        lock(&self.state).active.remove(&tenant);
+    }
+
+    /// Resident tenants, ascending.
+    pub fn resident(&self) -> Vec<u16> {
+        lock(&self.state).entries.keys().copied().collect()
+    }
+
+    /// Whether `tenant`'s bundle is resident.
+    pub fn contains(&self, tenant: u16) -> bool {
+        lock(&self.state).entries.contains_key(&tenant)
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes_used(&self) -> usize {
+        lock(&self.state).bytes_used
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        lock(&self.state).evictions
+    }
+}

@@ -1,0 +1,365 @@
+//! Bounded MPMC segmented ring: the serving engine's lock-free queue.
+//!
+//! A Vyukov-style array queue, split into fixed-size cache-line-padded
+//! segments. Each slot carries a sequence number that encodes both its
+//! lap and its state, so producers and consumers coordinate entirely
+//! through one CAS on their respective position counters plus
+//! acquire/release handoffs on the slot sequence — no mutex on the hot
+//! path, no spinning on a contended lock, and FIFO order is the ring
+//! order by construction.
+//!
+//! ## Memory-ordering argument
+//!
+//! - `push` claims a slot by CAS on `enqueue_pos` (relaxed: the CAS only
+//!   orders the claim itself; the payload handoff is what needs
+//!   ordering), writes the value, then publishes with
+//!   `seq.store(pos + 1, Release)`. The Release store makes the written
+//!   value visible to any consumer whose `seq.load(Acquire)` observes
+//!   `pos + 1`.
+//! - `pop` claims with CAS on `dequeue_pos`, reads the value *after* its
+//!   `seq.load(Acquire)` observed the producer's Release store (so the
+//!   read happens-after the write), then recycles the slot for the next
+//!   lap with `seq.store(pos + capacity, Release)` — which is what a
+//!   producer's Acquire load waits for before reusing the slot.
+//! - Fullness/emptiness are detected from the slot sequence alone
+//!   (`seq < pos` means the consumer/producer of the previous lap has
+//!   not finished), so neither operation ever blocks: `push` on a full
+//!   ring hands the value back, `pop` on an empty ring returns `None`.
+//!   Parking belongs to the caller (the engine keeps a condvar solely
+//!   for parked-worker wakeup).
+//!
+//! Capacity is rounded up to a power of two and allocated in
+//! [`SEGMENT_SLOTS`]-slot segments so position→slot mapping is two
+//! shifts and the slot array never straddles an allocation a resize
+//! could move (there are no resizes — the ring is the backpressure
+//! bound).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Slots per segment. 64 keeps a segment's sequence words on distinct
+/// lines from its neighbors while bounding per-segment allocation.
+pub const SEGMENT_SLOTS: usize = 64;
+
+/// Pad hot counters to their own cache line so producers bumping
+/// `enqueue_pos` never false-share with consumers bumping `dequeue_pos`.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    /// Lap-encoded state: `pos` = free for the producer claiming `pos`,
+    /// `pos + 1` = holds the value for the consumer claiming `pos`.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Segment<T> {
+    slots: Box<[Slot<T>]>,
+}
+
+/// Bounded lock-free multi-producer multi-consumer FIFO ring.
+pub struct MpmcRing<T> {
+    segments: Box<[Segment<T>]>,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: slots are handed off between threads through the seq
+// acquire/release protocol above; a value is owned by exactly one
+// claimant at a time, so sending T between threads is all that is
+// required of T.
+unsafe impl<T: Send> Send for MpmcRing<T> {}
+unsafe impl<T: Send> Sync for MpmcRing<T> {}
+
+impl<T> MpmcRing<T> {
+    /// A ring holding at least `capacity` items (rounded up to a power
+    /// of two, minimum one segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity — a configuration error.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be positive");
+        let capacity = capacity.next_power_of_two().max(SEGMENT_SLOTS);
+        let n_segments = capacity / SEGMENT_SLOTS;
+        let segments = (0..n_segments)
+            .map(|s| Segment {
+                slots: (0..SEGMENT_SLOTS)
+                    .map(|i| Slot {
+                        seq: AtomicUsize::new(s * SEGMENT_SLOTS + i),
+                        value: UnsafeCell::new(MaybeUninit::uninit()),
+                    })
+                    .collect(),
+            })
+            .collect();
+        MpmcRing {
+            segments,
+            mask: capacity - 1,
+            enqueue_pos: CachePadded(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Slots the ring can hold (the rounded-up power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn slot(&self, pos: usize) -> &Slot<T> {
+        let idx = pos & self.mask;
+        &self.segments[idx / SEGMENT_SLOTS].slots[idx % SEGMENT_SLOTS]
+    }
+
+    /// Enqueue at the tail; a full ring hands the value back.
+    ///
+    /// # Errors
+    ///
+    /// `Err(value)` when the ring is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = self.slot(pos);
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed `pos` exclusively and
+                        // seq == pos says the previous lap's consumer is
+                        // done with the slot.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                // Previous lap's value still in the slot: full.
+                return Err(value);
+            } else {
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue from the head; `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = self.slot(pos);
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (pos + 1) as isize;
+            if dif == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed `pos` exclusively, and
+                        // the Acquire load of seq == pos + 1 ordered this
+                        // read after the producer's Release publish.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Items currently queued — approximate under concurrency (the two
+    /// counters are read independently), exact when quiescent.
+    pub fn approx_len(&self) -> usize {
+        let tail = self.enqueue_pos.0.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring looks empty right now (same caveat as
+    /// [`MpmcRing::approx_len`]).
+    pub fn is_empty(&self) -> bool {
+        self.approx_len() == 0
+    }
+}
+
+impl<T> Drop for MpmcRing<T> {
+    fn drop(&mut self) {
+        // Drain and drop any values still queued.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_is_fifo_and_bounds_capacity() {
+        let ring = MpmcRing::with_capacity(3);
+        assert_eq!(ring.capacity(), SEGMENT_SLOTS, "rounded up to a segment");
+        for i in 0..ring.capacity() {
+            ring.push(i).expect("fits");
+        }
+        assert_eq!(ring.push(999), Err(999), "full ring hands the value back");
+        for i in 0..ring.capacity() {
+            assert_eq!(ring.pop(), Some(i), "FIFO order");
+        }
+        assert_eq!(ring.pop(), None);
+        // A second lap reuses the recycled slots.
+        ring.push(42).expect("recycled slot accepts");
+        assert_eq!(ring.pop(), Some(42));
+    }
+
+    #[test]
+    fn ring_spans_multiple_segments() {
+        let ring = MpmcRing::with_capacity(200);
+        assert_eq!(ring.capacity(), 256);
+        for i in 0..256 {
+            ring.push(i).expect("fits");
+        }
+        assert!(ring.push(0).is_err());
+        assert_eq!(ring.approx_len(), 256);
+        for i in 0..256 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_drop_releases_queued_values() {
+        // Arc strong counts observe the drop of undrained items.
+        let probe = Arc::new(());
+        {
+            let ring = MpmcRing::with_capacity(8);
+            for _ in 0..5 {
+                ring.push(Arc::clone(&probe)).expect("fits");
+            }
+            assert_eq!(Arc::strong_count(&probe), 6);
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn concurrent_push_pop_loses_and_duplicates_nothing() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 2_000;
+        let ring = Arc::new(MpmcRing::with_capacity(64));
+        let popped = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let popped = Arc::clone(&popped);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match ring.pop() {
+                            Some(v) => local.push(v),
+                            None if done.load(Ordering::SeqCst) == PRODUCERS && ring.is_empty() => {
+                                break
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    popped.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p * PER_PRODUCER + i;
+                        loop {
+                            match ring.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().expect("producer");
+        }
+        for h in consumers {
+            h.join().expect("consumer");
+        }
+        let mut all = popped.lock().unwrap().clone();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expect, "every pushed item popped exactly once");
+    }
+
+    #[test]
+    fn single_consumer_sees_each_producer_in_order() {
+        // MPMC ring with one consumer: pops follow ring order, so each
+        // producer's items arrive in its own push order.
+        const PRODUCERS: usize = 3;
+        const PER_PRODUCER: usize = 1_000;
+        let ring = Arc::new(MpmcRing::with_capacity(64));
+        let done = Arc::new(AtomicUsize::new(0));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = (p, i);
+                        while let Err(back) = ring.push(v) {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let mut last = [0usize; PRODUCERS];
+        let mut seen = 0usize;
+        while seen < PRODUCERS * PER_PRODUCER {
+            match ring.pop() {
+                Some((p, i)) => {
+                    if i > 0 {
+                        assert!(
+                            i > last[p],
+                            "producer {p} out of order: {i} after {}",
+                            last[p]
+                        );
+                    }
+                    last[p] = i;
+                    seen += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        for h in producers {
+            h.join().expect("producer");
+        }
+        assert_eq!(done.load(Ordering::SeqCst), PRODUCERS);
+    }
+}

@@ -1,0 +1,456 @@
+//! Sharded serving front end: N independent [`ScoringEngine`]s behind a
+//! stable-hash [`ShardRouter`].
+//!
+//! Each shard is a full engine — its own lock-free intake ring, worker
+//! pool, drift monitor, and hot-reload gate — so shards share no mutable
+//! state and a flood (or a chaos-killed worker pool) on one shard cannot
+//! stall its siblings. Routing is by an opaque `u16` key (tenant or
+//! province id): the router hashes the key with splitmix64 and takes it
+//! modulo the shard count, with an explicit pinning table overriding the
+//! hash per key. The hash has **no runtime state**, so the same key maps
+//! to the same shard across restarts; routes change only on explicit
+//! resharding ([`ShardRouter::resharded`]) or pin edits.
+//!
+//! Correctness does not depend on routing: scoring is elementwise per
+//! row, so any shard scores any row bit-identically
+//! (`tests/shard_routing.rs` proves sharded == single-engine ==
+//! offline). Routing is a locality/isolation policy, which is what lets
+//! [`OverflowPolicy::Redirect`] bounce traffic off a full or draining
+//! shard without changing a single score.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lightmirm_core::bundle::ModelBundle;
+use lightmirm_core::timing::Histogram;
+
+use crate::engine::{
+    EngineConfig, EngineStats, PendingScores, ReloadError, ScoringEngine, SubmitError,
+    SubmitOptions,
+};
+
+/// splitmix64 finalizer: the router's stateless key hash. Written out
+/// here (rather than reusing an RNG type) because the spec is part of
+/// the routing contract — DESIGN.md §5k documents these exact constants.
+fn splitmix64(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Stable key → shard mapping: pinning table first, splitmix64 hash
+/// modulo the shard count otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+    pinned: BTreeMap<u16, usize>,
+}
+
+impl ShardRouter {
+    /// A hash-only router over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shards — a configuration error.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "router needs at least one shard");
+        ShardRouter {
+            shards,
+            pinned: BTreeMap::new(),
+        }
+    }
+
+    /// A router with an explicit pinning table overriding the hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shards or a pin targeting a shard that does not
+    /// exist.
+    pub fn with_pinning(shards: usize, pinned: BTreeMap<u16, usize>) -> Self {
+        let mut router = ShardRouter::new(shards);
+        for (key, shard) in pinned {
+            router.pin(key, shard);
+        }
+        router
+    }
+
+    /// Shards this router spreads over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard serving `key`.
+    pub fn route(&self, key: u16) -> usize {
+        match self.pinned.get(&key) {
+            Some(&shard) => shard,
+            None => (splitmix64(u64::from(key)) % self.shards as u64) as usize,
+        }
+    }
+
+    /// Pin `key` to `shard`, overriding the hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` does not exist.
+    pub fn pin(&mut self, key: u16, shard: usize) {
+        assert!(shard < self.shards, "pin target {shard} out of range");
+        self.pinned.insert(key, shard);
+    }
+
+    /// Drop the pin for `key` (back to the hash route).
+    pub fn unpin(&mut self, key: u16) {
+        self.pinned.remove(&key);
+    }
+
+    /// The pinning table.
+    pub fn pinned(&self) -> &BTreeMap<u16, usize> {
+        &self.pinned
+    }
+
+    /// Explicit resharding: the ONLY operation that changes hash routes.
+    /// Pins whose target still exists are kept; pins beyond the new
+    /// shard count are dropped.
+    pub fn resharded(&self, shards: usize) -> ShardRouter {
+        assert!(shards >= 1, "router needs at least one shard");
+        ShardRouter {
+            shards,
+            pinned: self
+                .pinned
+                .iter()
+                .filter(|&(_, &s)| s < shards)
+                .map(|(&k, &s)| (k, s))
+                .collect(),
+        }
+    }
+}
+
+/// What a shard does with traffic its intake rejects (full, shed, or
+/// draining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Surface the primary shard's rejection to the caller (strict
+    /// isolation: one tenant's flood stays that tenant's problem).
+    #[default]
+    Reject,
+    /// Walk the remaining shards in ring order and enqueue on the first
+    /// that accepts; only when every shard rejects does the caller see
+    /// an error. Scores are routing-invariant, so a redirect never
+    /// changes a result — it only moves the queueing.
+    Redirect,
+}
+
+/// Configuration of the sharded front end.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of independent engine shards.
+    pub shards: usize,
+    /// Per-shard engine configuration. `chaos_scope` is overwritten per
+    /// shard (`shard0`, `shard1`, …) so failpoints can target one shard.
+    pub engine: EngineConfig,
+    /// Overflow policy for rejected submissions.
+    pub overflow: OverflowPolicy,
+    /// Routing pins, key → shard.
+    pub pinned: BTreeMap<u16, usize>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            engine: EngineConfig::default(),
+            overflow: OverflowPolicy::default(),
+            pinned: BTreeMap::new(),
+        }
+    }
+}
+
+/// N independent [`ScoringEngine`] shards behind a [`ShardRouter`].
+pub struct ShardedEngine {
+    shards: Vec<ScoringEngine>,
+    router: ShardRouter,
+    overflow: OverflowPolicy,
+}
+
+impl ShardedEngine {
+    /// Build `cfg.shards` engines, each serving a clone of `bundle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (zero shards, out-of-range pins,
+    /// or an invalid [`EngineConfig`]).
+    pub fn new(bundle: &ModelBundle, cfg: &ShardConfig) -> Self {
+        let router = ShardRouter::with_pinning(cfg.shards, cfg.pinned.clone());
+        let shards = (0..cfg.shards)
+            .map(|i| {
+                let mut engine_cfg = cfg.engine.clone();
+                engine_cfg.chaos_scope = Some(format!("shard{i}"));
+                ScoringEngine::new(bundle.clone(), engine_cfg)
+            })
+            .collect();
+        ShardedEngine {
+            shards,
+            router,
+            overflow: cfg.overflow,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct handle to shard `i` (chaos tests and per-shard adaptation
+    /// drive shards through this).
+    pub fn shard(&self, i: usize) -> &ScoringEngine {
+        &self.shards[i]
+    }
+
+    /// The router (read-only; routes are fixed for the engine's life —
+    /// resharding means building a new front end).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Route `key` and submit, blocking on the target shard's
+    /// backpressure. Returns the shard that accepted alongside the
+    /// pending scores.
+    ///
+    /// Under [`OverflowPolicy::Redirect`], a rejecting primary
+    /// (full/shed/draining) redirects non-blocking through the remaining
+    /// shards in ring order; if every shard rejects, the call blocks on
+    /// the first non-draining shard, and only errs when all shards are
+    /// draining (or the request itself is invalid).
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit(
+        &self,
+        key: u16,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+        opts: SubmitOptions,
+    ) -> Result<(usize, PendingScores), SubmitError> {
+        self.submit_routed(key, features, env_ids, opts, true)
+    }
+
+    /// Non-blocking [`ShardedEngine::submit`]: rejections surface
+    /// immediately (after the redirect walk, under
+    /// [`OverflowPolicy::Redirect`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn try_submit(
+        &self,
+        key: u16,
+        features: Vec<f32>,
+        env_ids: Vec<u16>,
+        opts: SubmitOptions,
+    ) -> Result<(usize, PendingScores), SubmitError> {
+        self.submit_routed(key, features, env_ids, opts, false)
+    }
+
+    fn submit_routed(
+        &self,
+        key: u16,
+        mut features: Vec<f32>,
+        mut env_ids: Vec<u16>,
+        opts: SubmitOptions,
+        block: bool,
+    ) -> Result<(usize, PendingScores), SubmitError> {
+        let primary = self.router.route(key);
+        let n = self.shards.len();
+        // Primary attempt: non-blocking under Redirect (so an overflow
+        // walks instead of waiting), blocking under Reject.
+        let primary_block = block && self.overflow == OverflowPolicy::Reject;
+        let primary_err =
+            match self.shards[primary].submit_reclaim(features, env_ids, opts, primary_block) {
+                Ok(pending) => return Ok((primary, pending)),
+                Err((err, f, e)) => {
+                    features = f;
+                    env_ids = e;
+                    err
+                }
+            };
+        let redirectable = matches!(
+            primary_err,
+            SubmitError::QueueFull | SubmitError::Shed | SubmitError::ShuttingDown
+        );
+        if self.overflow == OverflowPolicy::Reject || !redirectable {
+            return Err(primary_err);
+        }
+        // Redirect walk, ring order from the primary's successor.
+        for step in 1..n {
+            let shard = (primary + step) % n;
+            match self.shards[shard].try_submit_reclaim(features, env_ids, opts) {
+                Ok(pending) => return Ok((shard, pending)),
+                Err((_, f, e)) => {
+                    features = f;
+                    env_ids = e;
+                }
+            }
+        }
+        if !block {
+            return Err(primary_err);
+        }
+        // Everything rejected non-blocking: park on the first shard
+        // still taking traffic (ring order keeps this deterministic).
+        for step in 0..n {
+            let shard = (primary + step) % n;
+            if self.shards[shard].is_draining() {
+                continue;
+            }
+            match self.shards[shard].submit_reclaim(features, env_ids, opts, true) {
+                Ok(pending) => return Ok((shard, pending)),
+                Err((err, f, e)) => {
+                    features = f;
+                    env_ids = e;
+                    // A shard that started draining mid-wait: move on.
+                    if err != SubmitError::ShuttingDown {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+        Err(SubmitError::ShuttingDown)
+    }
+
+    /// Probe-validate `candidate` and swap it into every shard. Shards
+    /// reload independently (each holds its own reload gate and rearms
+    /// its own drift monitor); on a rejection the failing shard and
+    /// every shard after it keep their incumbent, and the error names
+    /// the shard.
+    ///
+    /// # Errors
+    ///
+    /// The first failing shard's index and [`ReloadError`].
+    pub fn reload_all(
+        &self,
+        candidate: &ModelBundle,
+        probe_features: &[f32],
+        probe_env_ids: &[u16],
+    ) -> Result<(), (usize, ReloadError)> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .reload(candidate.clone(), probe_features, probe_env_ids)
+                .map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Per-shard telemetry snapshots, indexed by shard.
+    pub fn stats(&self) -> Vec<EngineStats> {
+        self.shards.iter().map(ScoringEngine::stats).collect()
+    }
+
+    /// All shards' submit-entry → reply latency merged into one
+    /// histogram (bucket-level merge, so p99/p99.9 of the aggregate are
+    /// well-defined).
+    pub fn merged_enqueue_to_reply(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for shard in &self.shards {
+            merged.merge(&shard.enqueue_to_reply_histogram());
+        }
+        merged
+    }
+
+    /// Currently served bundles, indexed by shard.
+    pub fn bundles(&self) -> Vec<Arc<ModelBundle>> {
+        self.shards.iter().map(ScoringEngine::bundle).collect()
+    }
+
+    /// Stop intake on one shard while its siblings keep serving — the
+    /// chaos suite's "kill a shard" lever, and the first half of an
+    /// explicit per-shard drain.
+    pub fn begin_shutdown_shard(&self, i: usize) {
+        self.shards[i].begin_shutdown();
+    }
+
+    /// Stop intake everywhere, drain every shard, and return the final
+    /// per-shard telemetry.
+    pub fn shutdown(self) -> Vec<EngineStats> {
+        // Cut intake on all shards first so no drain waits behind a
+        // sibling still accepting.
+        for shard in &self.shards {
+            shard.begin_shutdown();
+        }
+        self.shards
+            .into_iter()
+            .map(ScoringEngine::shutdown)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_are_stable_and_cover_all_shards() {
+        let router = ShardRouter::new(4);
+        let again = ShardRouter::new(4); // a "restart": no shared state
+        let mut seen = [false; 4];
+        for key in 0u16..256 {
+            let shard = router.route(key);
+            assert!(shard < 4);
+            assert_eq!(shard, again.route(key), "route must not depend on instance");
+            seen[shard] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "256 keys should touch all 4 shards"
+        );
+    }
+
+    #[test]
+    fn pinning_overrides_the_hash_and_unpin_restores_it() {
+        let mut router = ShardRouter::new(4);
+        let key = 31u16;
+        let hashed = router.route(key);
+        let pinned_to = (hashed + 1) % 4;
+        router.pin(key, pinned_to);
+        assert_eq!(router.route(key), pinned_to);
+        assert_eq!(
+            router.route(key.wrapping_add(1)),
+            ShardRouter::new(4).route(key.wrapping_add(1))
+        );
+        router.unpin(key);
+        assert_eq!(router.route(key), hashed);
+    }
+
+    #[test]
+    fn resharding_is_the_only_route_change() {
+        let mut router = ShardRouter::new(4);
+        router.pin(7, 3);
+        router.pin(9, 1);
+        let wider = router.resharded(8);
+        assert_eq!(wider.pinned().len(), 2, "valid pins survive resharding");
+        let narrower = router.resharded(2);
+        assert_eq!(
+            narrower.pinned().get(&9),
+            Some(&1),
+            "in-range pin survives shrinking"
+        );
+        assert_eq!(
+            narrower.pinned().get(&7),
+            None,
+            "out-of-range pin is dropped"
+        );
+        // And the hash route for an unpinned key is a pure function of
+        // (key, shard count).
+        for key in 0u16..64 {
+            assert_eq!(
+                wider.route(key.wrapping_add(100)),
+                ShardRouter::new(8).route(key.wrapping_add(100))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pin target")]
+    fn out_of_range_pin_is_rejected() {
+        ShardRouter::new(2).pin(0, 2);
+    }
+}

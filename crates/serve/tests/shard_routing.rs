@@ -1,0 +1,426 @@
+//! The sharded front end's correctness battery: routing stability,
+//! sharded-vs-single-engine bit-identity on both kernel backends, and
+//! seeded MPMC proptests over the lock-free ring.
+//!
+//! The routing contract under test: the router is a pure function of
+//! `(shard count, pinning table)` — the same key routes to the same
+//! shard across process restarts, and routes change **only** through
+//! explicit resharding or pinning, never as a side effect of traffic,
+//! reloads, or time.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use lightmirm_core::prelude::*;
+use lightmirm_core::simd::{self, Backend};
+use lightmirm_core::trainers::TrainConfig;
+use lightmirm_serve::ring::MpmcRing;
+use lightmirm_serve::{
+    EngineConfig, Priority, ShardConfig, ShardRouter, ShardedEngine, SubmitOptions,
+};
+use loansim::{generate, temporal_split, GeneratorConfig, LoanFrame, ProvinceCatalog};
+use proptest::prelude::*;
+
+struct World {
+    bundle: ModelBundle,
+    stream: LoanFrame,
+    offline: Vec<f64>,
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let frame = generate(&GeneratorConfig::small(6_000, 47));
+        let split = temporal_split(&frame, 2020);
+        let mut fe = FeatureExtractorConfig::default();
+        fe.gbdt.n_trees = 6;
+        let extractor = FeatureExtractor::fit(&split.train, &fe).expect("GBDT trains");
+        let names = ProvinceCatalog::standard().names();
+        let train = extractor
+            .to_env_dataset(&split.train, names, None)
+            .expect("train transform");
+        let out = ErmTrainer::new(TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        })
+        .fit(&train, None);
+        let bundle = ModelBundle::new(
+            extractor.gbdt().clone(),
+            &out.model,
+            BundleMetadata::default(),
+        )
+        .expect("dimensions match");
+        let stream = split.test;
+        let n = stream.len();
+        let mut features = Vec::with_capacity(n * bundle.n_features());
+        let mut env_ids = Vec::with_capacity(n);
+        for k in 0..n {
+            features.extend_from_slice(stream.row(k));
+            env_ids.push(stream.province[k]);
+        }
+        let offline = bundle.score_batch(&features, &env_ids);
+        World {
+            bundle,
+            stream,
+            offline,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Routing stability
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_same_key_routes_to_the_same_shard_across_restarts() {
+    // "Restart" = constructing a fresh router (or front end) from the
+    // same configuration. The full route map over the key space must be
+    // identical, including with a pinning table.
+    let before: Vec<usize> = (0..=u16::MAX)
+        .map(|k| ShardRouter::new(5).route(k))
+        .collect();
+    let after: Vec<usize> = (0..=u16::MAX)
+        .map(|k| ShardRouter::new(5).route(k))
+        .collect();
+    assert_eq!(before, after, "routing must survive a restart");
+
+    let pins: std::collections::BTreeMap<u16, usize> = [(7u16, 0usize), (4000, 3)].into();
+    let a = ShardRouter::with_pinning(5, pins.clone());
+    let b = ShardRouter::with_pinning(5, pins);
+    for k in 0..=u16::MAX {
+        assert_eq!(a.route(k), b.route(k));
+    }
+
+    // The front end exposes the identical router.
+    let w = world();
+    let cfg = ShardConfig {
+        shards: 5,
+        engine: EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        ..ShardConfig::default()
+    };
+    let engine = ShardedEngine::new(&w.bundle, &cfg);
+    for k in (0..=u16::MAX).step_by(97) {
+        assert_eq!(engine.router().route(k), ShardRouter::new(5).route(k));
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn routes_change_only_on_explicit_resharding_or_pinning() {
+    let base = ShardRouter::new(4);
+    let snapshot: Vec<usize> = (0..2048).map(|k| base.route(k)).collect();
+
+    // Querying is not a mutation: the map is unchanged after a sweep.
+    for _ in 0..3 {
+        let again: Vec<usize> = (0..2048).map(|k| base.route(k)).collect();
+        assert_eq!(snapshot, again);
+    }
+
+    // Resharding to the same count is the identity.
+    let same = base.resharded(4);
+    for k in 0..2048 {
+        assert_eq!(base.route(k), same.route(k));
+    }
+
+    // Resharding to a different count is the ONLY implicit route change,
+    // and it must actually move some keys (else it isn't resharding).
+    let wider = base.resharded(6);
+    assert!((0..2048).any(|k| base.route(k) != wider.route(k)));
+
+    // Pinning moves exactly the pinned key.
+    let mut pinned = base.resharded(4);
+    let key = 1234u16;
+    let target = (base.route(key) + 1) % 4;
+    pinned.pin(key, target);
+    assert_eq!(pinned.route(key), target);
+    for k in 0..2048 {
+        if k != key {
+            assert_eq!(pinned.route(k), base.route(k), "unpinned key {k} moved");
+        }
+    }
+    pinned.unpin(key);
+    for k in 0..2048 {
+        assert_eq!(pinned.route(k), base.route(k));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded == single-engine == offline, on both kernel backends
+// ---------------------------------------------------------------------------
+
+/// Score the whole stream through a sharded front end as 3-row chunks
+/// routed by each chunk's first-row province.
+fn scores_through_sharded(w: &World, shards: usize, workers: usize) -> Vec<f64> {
+    let engine = ShardedEngine::new(
+        &w.bundle,
+        &ShardConfig {
+            shards,
+            engine: EngineConfig {
+                max_batch: 64,
+                max_wait: Duration::from_micros(200),
+                queue_capacity: 1024,
+                workers,
+                ..EngineConfig::default()
+            },
+            ..ShardConfig::default()
+        },
+    );
+    let nf = w.bundle.n_features();
+    let chunk = 3usize;
+    let mut pending = Vec::new();
+    let mut r = 0usize;
+    while r < w.stream.len() {
+        let n = chunk.min(w.stream.len() - r);
+        let mut features = Vec::with_capacity(n * nf);
+        let mut env_ids = Vec::with_capacity(n);
+        for k in r..r + n {
+            features.extend_from_slice(w.stream.row(k));
+            env_ids.push(w.stream.province[k]);
+        }
+        let (_, p) = engine
+            .submit(
+                w.stream.province[r],
+                features,
+                env_ids,
+                SubmitOptions::default(),
+            )
+            .expect("accepted");
+        pending.push(p);
+        r += n;
+    }
+    let scores: Vec<f64> = pending
+        .into_iter()
+        .flat_map(|p| p.wait().expect("scored"))
+        .collect();
+    let total: u64 = engine.shutdown().iter().map(|s| s.rows_scored).sum();
+    assert_eq!(total as usize, w.stream.len(), "no lost or duplicated rows");
+    scores
+}
+
+#[test]
+fn sharded_scores_are_bit_identical_to_single_engine_on_both_backends() {
+    let w = world();
+    for backend in [Backend::Simd, Backend::Scalar] {
+        simd::force_backend(backend);
+        // The single-engine path is a 1-shard front end; the offline
+        // reference re-scores under the forced backend.
+        let offline = {
+            let n = w.stream.len();
+            let mut features = Vec::with_capacity(n * w.bundle.n_features());
+            let mut env_ids = Vec::with_capacity(n);
+            for k in 0..n {
+                features.extend_from_slice(w.stream.row(k));
+                env_ids.push(w.stream.province[k]);
+            }
+            w.bundle.score_batch(&features, &env_ids)
+        };
+        let single = scores_through_sharded(w, 1, 1);
+        for (shards, workers) in [(2, 1), (3, 2), (4, 2), (7, 1)] {
+            let sharded = scores_through_sharded(w, shards, workers);
+            assert_eq!(sharded.len(), offline.len());
+            for k in 0..offline.len() {
+                assert_eq!(
+                    sharded[k].to_bits(),
+                    single[k].to_bits(),
+                    "row {k} differs between {shards}x{workers} and single engine \
+                     on {} backend",
+                    backend.name()
+                );
+                assert_eq!(
+                    sharded[k].to_bits(),
+                    offline[k].to_bits(),
+                    "row {k} drifted from offline on {} backend",
+                    backend.name()
+                );
+            }
+        }
+    }
+    simd::clear_forced_backend();
+    // The forced-backend sweep must also agree with the fixture's
+    // default-backend offline scores: backends are bit-exact peers.
+    let default_again = scores_through_sharded(w, 4, 2);
+    for (k, s) in default_again.iter().enumerate() {
+        assert_eq!(s.to_bits(), w.offline[k].to_bits());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level MPMC: concurrent mixed-priority submits lose nothing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_mixed_priority_submits_across_shards_lose_and_duplicate_nothing() {
+    let w = world();
+    let engine = Arc::new(ShardedEngine::new(
+        &w.bundle,
+        &ShardConfig {
+            shards: 3,
+            engine: EngineConfig {
+                max_batch: 32,
+                max_wait: Duration::from_micros(100),
+                queue_capacity: 256,
+                workers: 2,
+                ..EngineConfig::default()
+            },
+            ..ShardConfig::default()
+        },
+    ));
+    let submitters = 4usize;
+    let n = w.stream.len().min(2_000);
+    let handles: Vec<_> = (0..submitters)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let w = world();
+                let mut checked = 0usize;
+                let mut k = t;
+                let mut pending = Vec::new();
+                while k < n {
+                    let opts = SubmitOptions {
+                        priority: if k % 3 == 0 {
+                            Priority::High
+                        } else {
+                            Priority::Normal
+                        },
+                        ..SubmitOptions::default()
+                    };
+                    let (_, p) = engine
+                        .submit(
+                            w.stream.province[k],
+                            w.stream.row(k).to_vec(),
+                            vec![w.stream.province[k]],
+                            opts,
+                        )
+                        .expect("accepted");
+                    pending.push((k, p));
+                    k += submitters;
+                }
+                for (k, p) in pending {
+                    let scores = p.wait().expect("scored");
+                    assert_eq!(scores.len(), 1);
+                    assert_eq!(scores[0].to_bits(), w.offline[k].to_bits(), "row {k}");
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+    let answered: usize = handles.into_iter().map(|h| h.join().expect("thread")).sum();
+    assert_eq!(answered, n, "every submitted request answered exactly once");
+    let engine = Arc::into_inner(engine).expect("submitters joined");
+    let stats = engine.shutdown();
+    let total: u64 = stats.iter().map(|s| s.rows_scored).sum();
+    assert_eq!(total as usize, n, "per-shard row counts sum to the stream");
+    assert!(
+        stats.iter().filter(|s| s.rows_scored > 0).count() > 1,
+        "the stream must actually exercise more than one shard"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Seeded MPMC proptests over the ring itself
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any producer/consumer/capacity schedule: every pushed item is
+    /// popped exactly once (multiset equality), and each producer's
+    /// items emerge in that producer's push order when reassembled.
+    #[test]
+    fn ring_loses_and_duplicates_nothing_under_random_schedules(
+        producers in 1usize..5,
+        consumers in 1usize..4,
+        per_producer in 1usize..400,
+        capacity in 1usize..700,
+    ) {
+        let ring = Arc::new(MpmcRing::<(usize, usize)>::with_capacity(capacity));
+        let total = producers * per_producer;
+        let popped = Arc::new(Mutex::new(Vec::with_capacity(total)));
+        let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(total));
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        let mut item = (p, i);
+                        loop {
+                            match ring.push(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let ring = Arc::clone(&ring);
+                let popped = Arc::clone(&popped);
+                let remaining = Arc::clone(&remaining);
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match ring.pop() {
+                            Some(item) => {
+                                local.push(item);
+                                remaining.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            None => {
+                                if remaining.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    popped.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let got = popped.lock().unwrap();
+        prop_assert_eq!(got.len(), total);
+        // Multiset equality: sort and compare against the full grid.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        let expect: Vec<(usize, usize)> = (0..producers)
+            .flat_map(|p| (0..per_producer).map(move |i| (p, i)))
+            .collect();
+        prop_assert_eq!(sorted, expect);
+        prop_assert!(ring.is_empty());
+    }
+
+    /// Items of interleaved priority classes pushed by one producer and
+    /// drained by one consumer stay FIFO within every class — the
+    /// queue-order guarantee a shard gives each priority class.
+    #[test]
+    fn ring_is_fifo_per_priority_class_within_a_shard(
+        classes in proptest::collection::vec(0u8..3, 0..500),
+    ) {
+        let ring = MpmcRing::<(u8, usize)>::with_capacity(classes.len().max(1));
+        let mut seqs = [0usize; 3];
+        for &c in &classes {
+            let seq = seqs[c as usize];
+            seqs[c as usize] += 1;
+            ring.push((c, seq)).expect("capacity covers the trace");
+        }
+        let mut next_expected = [0usize; 3];
+        let mut drained = 0usize;
+        while let Some((c, seq)) = ring.pop() {
+            prop_assert_eq!(
+                seq,
+                next_expected[c as usize],
+                "class {} replied out of order",
+                c
+            );
+            next_expected[c as usize] += 1;
+            drained += 1;
+        }
+        prop_assert_eq!(drained, classes.len());
+    }
+}
